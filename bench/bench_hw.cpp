@@ -1,0 +1,79 @@
+// Hardware-level view of the pruning results: what Table I's FLOPs
+// reductions mean on a TPU-like weight-stationary systolic array.
+//
+// The paper's efficiency argument targets dense hardware (Sec. II-A,
+// ref [26]). This bench maps the dense and progressively filter-pruned
+// VGG16/ResNet56 onto the systolic cost model and reports cycles,
+// utilization, DRAM traffic and energy. No training is involved — the
+// mapping depends only on layer shapes — so the sweep is exact and fast.
+#include <iostream>
+
+#include "core/surgeon.h"
+#include "hw/systolic.h"
+#include "models/builders.h"
+#include "report/experiment.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace capr;
+
+/// Uniformly prunes `fraction` of every prunable unit's filters.
+void prune_uniform(nn::Model& m, double fraction) {
+  for (size_t u = 0; u < m.units.size(); ++u) {
+    const int64_t f = m.units[u].conv->out_channels();
+    const auto remove_n = static_cast<int64_t>(static_cast<double>(f) * fraction);
+    if (remove_n <= 0 || f - remove_n < 2) continue;
+    std::vector<int64_t> filters(static_cast<size_t>(remove_n));
+    for (int64_t i = 0; i < remove_n; ++i) filters[static_cast<size_t>(i)] = f - 1 - i;
+    core::remove_filters(m, u, filters);
+  }
+}
+
+}  // namespace
+
+int main() {
+  report::print_banner("Hardware", "pruned models on a systolic-array cost model");
+
+  hw::SystolicConfig array;
+  array.rows = 16;
+  array.cols = 16;
+  array.freq_ghz = 1.0;
+  std::cout << "array: " << array.rows << "x" << array.cols << " PEs @ " << array.freq_ghz
+            << " GHz, " << array.sram_bytes / 1024 << " KiB SRAM\n\n";
+
+  for (const char* arch : {"vgg16", "resnet56"}) {
+    std::cout << "=== " << arch << " (paper geometry: 32x32 input, full width) ===\n";
+    report::Table table({"Pruned filters", "MACs", "Cycles", "Latency", "Mean util.",
+                         "DRAM", "Energy"});
+    double base_cycles = 0.0;
+    for (double fraction : {0.0, 0.25, 0.5, 0.75}) {
+      models::BuildConfig cfg;
+      cfg.num_classes = 10;
+      cfg.input_size = 32;
+      cfg.width_mult = 1.0f;
+      nn::Model m = models::make_model(arch, cfg);
+      prune_uniform(m, fraction);
+      const hw::ModelSim sim = hw::simulate(m, array);
+      if (fraction == 0.0) base_cycles = static_cast<double>(sim.total_cycles);
+      table.add_row({report::pct(fraction, 0), report::human_count(sim.total_macs),
+                     report::human_count(sim.total_cycles),
+                     report::fixed(sim.latency_us(array), 1) + " us (" +
+                         report::fixed(base_cycles / static_cast<double>(sim.total_cycles),
+                                       2) +
+                         "x)",
+                     report::pct(sim.mean_utilization(array)),
+                     report::human_count(sim.total_dram_bytes) + "B",
+                     report::fixed(sim.total_energy_nj / 1e3, 1) + " uJ"});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  std::cout << "Expected shape: latency, DRAM traffic and energy all fall as filters\n"
+               "are pruned — the structured-pruning speedup the paper claims, which\n"
+               "unstructured sparsity cannot deliver on this hardware (cf.\n"
+               "bench_unstructured). Utilization drops at high pruning because thin\n"
+               "layers underfill the PE array — the systolic-array counterargument\n"
+               "to over-pruning.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Kernel-level microbenchmarks (google-benchmark): the primitives that
+// dominate experiment wall-clock, plus the cost gap between Taylor
+// scoring (Eq. 4, one backward pass) and exact zero-out scoring (Eq. 3,
+// one forward per activation) that motivates the paper's approximation.
+#include <benchmark/benchmark.h>
+
+#include "core/importance.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace capr;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const int64_t size = state.range(0);
+  ConvGeom g{16, size, size, 3, 3, 1, 1};
+  Rng rng(2);
+  Tensor image({16, size, size});
+  rng.fill_normal(image, 0.0f, 1.0f);
+  Tensor col({g.col_rows(), g.col_cols()});
+  for (auto _ : state) {
+    im2col(image.data(), g, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() * col.numel());
+}
+BENCHMARK(BM_Im2Col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false);
+  Rng rng(3);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.1f);
+  Tensor x({8, channels, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false);
+  Rng rng(4);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.1f);
+  Tensor x({8, channels, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor g({8, channels, 16, 16});
+  rng.fill_normal(g, 0.0f, 1.0f);
+  conv.forward(x, true);
+  for (auto _ : state) {
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(32)->Arg(64);
+
+struct ScoringSetup {
+  nn::Model model;
+  data::SyntheticCifar data;
+  ScoringSetup() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 4;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.25f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 2;
+    dcfg.image_size = 8;
+    data = data::make_synthetic_cifar(dcfg);
+  }
+};
+
+// The efficiency argument of Section III-B: Taylor needs one
+// forward+backward per class batch; exact zero-out needs one forward per
+// activation. Compare per-unit scoring cost on the same batch.
+void BM_TaylorScoring(benchmark::State& state) {
+  ScoringSetup s;
+  Rng rng(5);
+  const data::Batch batch = s.data.train.sample_class(0, 4, rng);
+  core::ImportanceEvaluator eval;
+  for (auto _ : state) {
+    Tensor scores = eval.taylor_activation_scores(s.model, 0, batch);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_TaylorScoring);
+
+void BM_ExactZeroOutScoring(benchmark::State& state) {
+  ScoringSetup s;
+  Rng rng(5);
+  const data::Batch batch = s.data.train.sample_class(0, 4, rng);
+  core::ImportanceEvaluator eval;
+  for (auto _ : state) {
+    Tensor scores = eval.exact_activation_scores(s.model, 0, batch);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_ExactZeroOutScoring);
+
+void BM_FullImportanceEvaluation(benchmark::State& state) {
+  ScoringSetup s;
+  core::ImportanceEvaluator eval(core::ImportanceConfig{.images_per_class = 4});
+  for (auto _ : state) {
+    core::ImportanceResult res = eval.evaluate(s.model, s.data.train);
+    benchmark::DoNotOptimize(res.units.data());
+  }
+}
+BENCHMARK(BM_FullImportanceEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Extending the framework with a custom pruning criterion.
+//
+//   $ ./build/examples/custom_criterion
+//
+// The baselines::Criterion interface is the extension point: implement
+// score() (and optionally train_regularizer()) and any criterion runs
+// through the same iterative BaselinePruner as the built-in methods.
+// Here we add a deliberately bad RandomCriterion and race it against L1
+// and the class-aware method — a useful sanity harness when developing
+// new criteria, because any criterion worth keeping must beat random.
+#include <iostream>
+
+#include "baselines/baseline_pruner.h"
+#include "baselines/magnitude.h"
+#include "core/pruner.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/trainer.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace capr;
+
+/// Assigns every filter a random importance — the control condition.
+class RandomCriterion final : public baselines::Criterion {
+ public:
+  explicit RandomCriterion(uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "Random"; }
+  baselines::UnitFilterScores score(nn::Model& model, const data::Dataset&) override {
+    baselines::UnitFilterScores out;
+    for (const nn::PrunableUnit& u : model.units) {
+      std::vector<float> s(static_cast<size_t>(u.conv->out_channels()));
+      for (float& v : s) v = rng_.uniform();
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  data::SyntheticCifarConfig dcfg;
+  dcfg.num_classes = 6;
+  dcfg.train_per_class = 24;
+  dcfg.test_per_class = 12;
+  dcfg.image_size = 12;
+  dcfg.noise_stddev = 0.3f;
+  const data::SyntheticCifar dataset = data::make_synthetic_cifar(dcfg);
+
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 6;
+  mcfg.input_size = 12;
+  mcfg.width_mult = 0.5f;
+
+  const auto fresh_trained = [&] {
+    nn::Model m = models::make_tiny_cnn(mcfg);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 8;
+    tcfg.batch_size = 24;
+    tcfg.sgd = {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 5e-4f};
+    core::ModifiedLoss reg;
+    nn::train(m, dataset.train, tcfg, &reg);
+    return m;
+  };
+
+  baselines::BaselinePrunerConfig bcfg;
+  bcfg.fraction_per_iter = 0.25f;
+  bcfg.max_iterations = 3;
+  bcfg.max_accuracy_drop = 0.10f;
+  bcfg.finetune.epochs = 2;
+  bcfg.finetune.batch_size = 24;
+  bcfg.finetune.sgd.lr = 0.02f;
+
+  std::cout << "criterion comparison (same pruning driver, same budget):\n";
+  RandomCriterion random(7);
+  baselines::L1Criterion l1;
+  for (baselines::Criterion* crit :
+       std::initializer_list<baselines::Criterion*>{&random, &l1}) {
+    nn::Model m = fresh_trained();
+    baselines::BaselinePruner pruner(bcfg);
+    const auto res = pruner.run(m, *crit, dataset.train, dataset.test);
+    std::cout << "  " << res.method << ": " << res.original_accuracy * 100 << "% -> "
+              << res.final_accuracy * 100 << "% at ratio "
+              << res.report.pruning_ratio() * 100 << "%\n";
+  }
+
+  // And the proposed class-aware method under a matched budget.
+  nn::Model m = fresh_trained();
+  core::ClassAwarePrunerConfig pcfg;
+  pcfg.importance.images_per_class = 6;
+  pcfg.importance.tau_mode = core::TauMode::kQuantile;
+  pcfg.strategy.mode = core::StrategyMode::kPercentage;
+  pcfg.strategy.max_fraction_per_iter = bcfg.fraction_per_iter;
+  pcfg.finetune = bcfg.finetune;
+  pcfg.max_accuracy_drop = bcfg.max_accuracy_drop;
+  pcfg.max_iterations = bcfg.max_iterations;
+  core::ClassAwarePruner pruner(pcfg);
+  const auto res = pruner.run(m, dataset.train, dataset.test);
+  std::cout << "  Class-Aware: " << res.original_accuracy * 100 << "% -> "
+            << res.final_accuracy * 100 << "% at ratio "
+            << res.report.pruning_ratio() * 100 << "%\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Deployment sizing: pick a pruning level that meets a latency budget on
+// a concrete accelerator.
+//
+//   $ ./build/examples/hw_deployment
+//
+// Combines the class-aware pruning pipeline with the systolic-array cost
+// model: train, then iteratively prune while tracking simulated latency,
+// and stop as soon as the model fits the budget — the workflow an edge
+// deployment actually runs (the paper's motivating scenario).
+#include <iostream>
+
+#include "core/pruner.h"
+#include "data/synthetic.h"
+#include "hw/systolic.h"
+#include "models/builders.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace capr;
+
+  data::SyntheticCifarConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.train_per_class = 24;
+  dcfg.test_per_class = 12;
+  dcfg.image_size = 12;
+  dcfg.noise_stddev = 0.3f;
+  const data::SyntheticCifar dataset = data::make_synthetic_cifar(dcfg);
+
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 10;
+  mcfg.input_size = 12;
+  mcfg.width_mult = 0.25f;
+  nn::Model model = models::make_vgg16(mcfg);
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.batch_size = 32;
+  tcfg.sgd = {.lr = 0.05f, .momentum = 0.9f, .weight_decay = 5e-4f};
+  core::ModifiedLoss reg;
+  nn::train(model, dataset.train, tcfg, &reg);
+
+  hw::SystolicConfig array;
+  array.rows = 8;
+  array.cols = 8;
+  const double budget_us = 0.6 * hw::simulate(model, array).latency_us(array);
+  std::cout << "dense latency: " << hw::simulate(model, array).latency_us(array)
+            << " us; budget: " << budget_us << " us\n";
+
+  core::ClassAwarePrunerConfig pcfg;
+  pcfg.importance.images_per_class = 6;
+  pcfg.importance.tau_mode = core::TauMode::kQuantile;
+  pcfg.strategy.max_fraction_per_iter = 0.15f;
+  pcfg.finetune.epochs = 2;
+  pcfg.finetune.batch_size = 32;
+  pcfg.finetune.sgd.lr = 0.02f;
+  pcfg.max_accuracy_drop = 0.08f;
+  pcfg.max_iterations = 10;
+  // Roll back any iteration whose accuracy cannot be recovered, so the
+  // deployed model never violates the quality bar.
+  pcfg.model_factory = [&mcfg] { return models::make_vgg16(mcfg); };
+  pcfg.on_iteration = [](const core::IterationRecord& it) {
+    std::cout << "iter " << it.iteration << ": acc " << it.accuracy_after_finetune * 100
+              << "%, params " << it.params << "\n";
+  };
+  core::ClassAwarePruner pruner(pcfg);
+  pruner.run(model, dataset.train, dataset.test);
+
+  const hw::ModelSim final_sim = hw::simulate(model, array);
+  std::cout << "\npruned latency: " << final_sim.latency_us(array) << " us ("
+            << (final_sim.latency_us(array) <= budget_us ? "meets" : "misses")
+            << " the budget), accuracy " << nn::evaluate(model, dataset.test) * 100
+            << "%\n";
+  std::cout << "energy/inference: " << final_sim.total_energy_nj / 1e3 << " uJ, DRAM "
+            << final_sim.total_dram_bytes / 1024 << " KiB\n";
+  return 0;
+}

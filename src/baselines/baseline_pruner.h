@@ -1,0 +1,53 @@
+// Iterative prune/fine-tune driver for any baseline Criterion.
+//
+// Mirrors the ClassAwarePruner loop so Fig. 6's comparison runs every
+// method through identical machinery: score -> remove the lowest-scoring
+// fraction of filters -> fine-tune -> stop when the accuracy drop cannot
+// be recovered or the iteration budget is exhausted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/criterion.h"
+#include "flops/flops.h"
+#include "nn/trainer.h"
+
+namespace capr::baselines {
+
+struct BaselinePrunerConfig {
+  /// Fraction of remaining filters removed per iteration (network-wide).
+  float fraction_per_iter = 0.10f;
+  /// Per-layer cap per iteration, mirroring PruneStrategyConfig so the
+  /// Fig. 6 comparison gives every criterion the same protection against
+  /// gutting a single thin layer in one step.
+  float max_layer_fraction_per_iter = 0.5f;
+  int max_iterations = 20;
+  float max_accuracy_drop = 0.02f;
+  int64_t min_filters_per_layer = 2;
+  nn::TrainConfig finetune{};
+};
+
+struct BaselineRunResult {
+  std::string method;
+  float original_accuracy = 0.0f;
+  float final_accuracy = 0.0f;
+  flops::PruningReport report;
+  int iterations_run = 0;
+  std::string stop_reason;
+};
+
+class BaselinePruner {
+ public:
+  explicit BaselinePruner(BaselinePrunerConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Prunes `model` in place using `criterion`. Fine-tuning uses the
+  /// criterion's own regularizer when it provides one.
+  BaselineRunResult run(nn::Model& model, Criterion& criterion,
+                        const data::Dataset& train_set, const data::Dataset& test_set);
+
+ private:
+  BaselinePrunerConfig cfg_;
+};
+
+}  // namespace capr::baselines

@@ -1,0 +1,44 @@
+// Common interface for baseline filter-importance criteria (paper Fig. 6
+// comparison set). Each criterion scores every filter of every
+// PrunableUnit; higher scores mean more important. The BaselinePruner
+// drives any criterion through the same iterative prune/fine-tune loop
+// so the comparison against class-aware pruning is apples-to-apples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace capr::baselines {
+
+/// Per-unit, per-filter importance scores: scores[u][f].
+using UnitFilterScores = std::vector<std::vector<float>>;
+
+class Criterion {
+ public:
+  virtual ~Criterion() = default;
+  Criterion(const Criterion&) = delete;
+  Criterion& operator=(const Criterion&) = delete;
+
+  /// Human-readable method name, e.g. "L1" or "HRank".
+  virtual std::string name() const = 0;
+
+  /// Scores all prunable units. Data-driven criteria sample from
+  /// `train_set`; weight-only criteria ignore it.
+  virtual UnitFilterScores score(nn::Model& model, const data::Dataset& train_set) = 0;
+
+  /// Regularizer to use during (re)training, or nullptr. SSS returns its
+  /// scaling-factor sparsity term; OrthConv its orthogonality term.
+  virtual nn::Regularizer* train_regularizer() { return nullptr; }
+
+ protected:
+  Criterion() = default;
+};
+
+/// Samples a scoring batch with a balanced number of images per class.
+data::Batch balanced_sample(const data::Dataset& set, int64_t per_class, uint64_t seed);
+
+}  // namespace capr::baselines

@@ -1,0 +1,73 @@
+#include "baselines/unstructured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace capr::baselines {
+
+UnstructuredResult UnstructuredPruner::run(nn::Model& model, const data::Dataset& train_set,
+                                           const data::Dataset& test_set) {
+  if (cfg_.sparsity <= 0.0f || cfg_.sparsity >= 1.0f) {
+    throw std::invalid_argument("UnstructuredPruner: sparsity must be in (0, 1)");
+  }
+  UnstructuredResult result;
+  result.accuracy_before = nn::evaluate(model, test_set);
+
+  // Collect the weight params to mask.
+  masks_.clear();
+  model.net->visit([this](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      masks_.push_back({&conv->weight(), {}});
+    } else if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
+      if (cfg_.include_linear) masks_.push_back({&lin->weight(), {}});
+    }
+  });
+
+  // Global magnitude threshold at the sparsity quantile.
+  std::vector<float> magnitudes;
+  for (const MaskedParam& mp : masks_) {
+    result.weights_total += mp.param->value.numel();
+    for (int64_t i = 0; i < mp.param->value.numel(); ++i) {
+      magnitudes.push_back(std::fabs(mp.param->value[i]));
+    }
+  }
+  if (magnitudes.empty()) throw std::logic_error("UnstructuredPruner: no prunable weights");
+  const auto k = static_cast<size_t>(
+      static_cast<double>(cfg_.sparsity) * static_cast<double>(magnitudes.size() - 1));
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + static_cast<int64_t>(k),
+                   magnitudes.end());
+  const float threshold = magnitudes[k];
+
+  for (MaskedParam& mp : masks_) {
+    mp.masked.assign(static_cast<size_t>(mp.param->value.numel()), 0);
+    for (int64_t i = 0; i < mp.param->value.numel(); ++i) {
+      if (std::fabs(mp.param->value[i]) <= threshold) {
+        mp.masked[static_cast<size_t>(i)] = 1;
+        ++result.weights_masked;
+      }
+    }
+  }
+  apply_masks();
+
+  nn::TrainConfig ft = cfg_.finetune;
+  ft.after_step = [this] { apply_masks(); };
+  nn::train(model, train_set, ft);
+  apply_masks();
+
+  result.accuracy_after = nn::evaluate(model, test_set);
+  return result;
+}
+
+void UnstructuredPruner::apply_masks() const {
+  for (const MaskedParam& mp : masks_) {
+    for (int64_t i = 0; i < mp.param->value.numel(); ++i) {
+      if (mp.masked[static_cast<size_t>(i)] != 0) mp.param->value[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace capr::baselines

@@ -1,0 +1,61 @@
+// Unstructured (individual-weight) magnitude pruning — the paper's
+// Background comparator [9]: remove weights with small absolute values,
+// regardless of structure.
+//
+// Unstructured pruning reaches higher sparsity than filter pruning but
+// leaves an irregular weight matrix: the dense layer shapes (and hence
+// dense-hardware FLOPs) are unchanged, which is exactly the paper's
+// argument for structured pruning on systolic-array-like hardware. The
+// report therefore distinguishes *sparsity* (weights zeroed) from
+// *dense FLOPs reduction* (always 0 here).
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace capr::baselines {
+
+struct UnstructuredConfig {
+  /// Fraction of weights to zero, chosen by global magnitude threshold.
+  float sparsity = 0.9f;
+  /// Include linear layers (conv weights always participate).
+  bool include_linear = true;
+  /// Mask-respecting fine-tuning after pruning.
+  nn::TrainConfig finetune{};
+};
+
+struct UnstructuredResult {
+  float accuracy_before = 0.0f;
+  float accuracy_after = 0.0f;
+  int64_t weights_total = 0;
+  int64_t weights_masked = 0;
+  double achieved_sparsity() const {
+    return weights_total ? static_cast<double>(weights_masked) / weights_total : 0.0;
+  }
+};
+
+/// Applies global magnitude masking to `model` and fine-tunes with the
+/// masks enforced after every optimizer step.
+class UnstructuredPruner {
+ public:
+  explicit UnstructuredPruner(UnstructuredConfig cfg) : cfg_(cfg) {}
+
+  UnstructuredResult run(nn::Model& model, const data::Dataset& train_set,
+                         const data::Dataset& test_set);
+
+  /// Re-zeroes all masked weights (exposed for tests).
+  void apply_masks() const;
+
+ private:
+  UnstructuredConfig cfg_;
+  /// Masked positions per parameter (parallel to the masked Param set).
+  struct MaskedParam {
+    nn::Param* param;
+    std::vector<uint8_t> masked;  // 1 = forced to zero
+  };
+  std::vector<MaskedParam> masks_;
+};
+
+}  // namespace capr::baselines

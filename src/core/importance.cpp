@@ -1,0 +1,219 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace capr::core {
+namespace {
+
+/// Per-image cross-entropy losses (no batch averaging) — Eq. 3/4 are
+/// defined per image x_j.
+std::vector<float> per_image_ce(const Tensor& logits, const std::vector<int64_t>& labels) {
+  const Tensor probs = nn::softmax(logits);
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float p = probs[i * c + labels[static_cast<size_t>(i)]];
+    out[static_cast<size_t>(i)] = -std::log(p + 1e-12f);
+  }
+  return out;
+}
+
+struct CaptureGuard {
+  nn::Layer* layer;
+  explicit CaptureGuard(nn::Layer* l) : layer(l) { layer->instrument().capture = true; }
+  ~CaptureGuard() {
+    layer->instrument().capture = false;
+    layer->instrument().captured_output = Tensor();
+    layer->instrument().captured_grad = Tensor();
+  }
+  CaptureGuard(const CaptureGuard&) = delete;
+  CaptureGuard& operator=(const CaptureGuard&) = delete;
+};
+
+}  // namespace
+
+std::vector<float> ImportanceResult::all_scores() const {
+  std::vector<float> out;
+  for (const UnitScores& u : units) out.insert(out.end(), u.total.begin(), u.total.end());
+  return out;
+}
+
+std::vector<float> ImportanceResult::mean_per_unit() const {
+  std::vector<float> out;
+  out.reserve(units.size());
+  for (const UnitScores& u : units) {
+    double acc = 0.0;
+    for (float s : u.total) acc += s;
+    out.push_back(u.total.empty() ? 0.0f : static_cast<float>(acc / u.total.size()));
+  }
+  return out;
+}
+
+Tensor ImportanceEvaluator::taylor_activation_scores(nn::Model& model, size_t unit_index,
+                                                     const data::Batch& batch) {
+  if (unit_index >= model.units.size()) {
+    throw std::out_of_range("taylor_activation_scores: unit index out of range");
+  }
+  nn::PrunableUnit& unit = model.units[unit_index];
+  CaptureGuard guard(unit.score_point);
+  nn::SoftmaxCrossEntropy ce;
+  const Tensor logits = model.forward(batch.images, /*training=*/false);
+  ce.forward(logits, batch.labels);
+  // ce.backward() divides by N; Eq. 4 wants per-image dL(x_j)/da, so the
+  // captured gradients are rescaled by N below.
+  model.backward(ce.backward());
+  const Tensor& a = unit.score_point->instrument().captured_output;
+  const Tensor& g = unit.score_point->instrument().captured_grad;
+  if (a.empty() || g.empty()) {
+    throw std::logic_error("taylor scores: capture produced no data for unit " + unit.name);
+  }
+  const float n = static_cast<float>(batch.size());
+  Tensor scores(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) scores[i] = std::fabs(a[i] * g[i] * n);
+  return scores;
+}
+
+Tensor ImportanceEvaluator::exact_activation_scores(nn::Model& model, size_t unit_index,
+                                                    const data::Batch& batch) {
+  if (unit_index >= model.units.size()) {
+    throw std::out_of_range("exact_activation_scores: unit index out of range");
+  }
+  nn::PrunableUnit& unit = model.units[unit_index];
+  Tensor base_logits;
+  Shape act_shape;
+  {
+    CaptureGuard guard(unit.score_point);
+    base_logits = model.forward(batch.images, /*training=*/false);
+    act_shape = unit.score_point->instrument().captured_output.shape();
+  }
+  const std::vector<float> base_loss = per_image_ce(base_logits, batch.labels);
+  const int64_t per_image = numel_of(act_shape) / act_shape[0];
+
+  Tensor scores(act_shape);
+  nn::Instrument& inst = unit.score_point->instrument();
+  for (int64_t idx = 0; idx < scores.numel(); ++idx) {
+    inst.zero_flat_index = idx;
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    const std::vector<float> loss = per_image_ce(logits, batch.labels);
+    const int64_t image = idx / per_image;
+    scores[idx] = std::fabs(loss[static_cast<size_t>(image)] -
+                            base_loss[static_cast<size_t>(image)]);
+  }
+  inst.zero_flat_index.reset();
+  return scores;
+}
+
+ImportanceResult ImportanceEvaluator::evaluate(nn::Model& model,
+                                               const data::Dataset& train_set) {
+  if (model.units.empty()) {
+    throw std::invalid_argument("ImportanceEvaluator: model has no prunable units");
+  }
+  const int64_t num_classes = train_set.num_classes();
+  Rng rng(cfg_.sample_seed);
+
+  ImportanceResult result;
+  result.num_classes = num_classes;
+  result.units.resize(model.units.size());
+  for (size_t u = 0; u < model.units.size(); ++u) {
+    result.units[u].unit_name = model.units[u].name;
+    result.units[u].unit_index = u;
+    result.units[u].per_class.resize(static_cast<size_t>(num_classes));
+    result.units[u].total.assign(static_cast<size_t>(model.units[u].conv->out_channels()),
+                                 0.0f);
+  }
+
+  for (int64_t cls = 0; cls < num_classes; ++cls) {
+    const data::Batch batch = train_set.sample_class(cls, cfg_.images_per_class, rng);
+    const float m = static_cast<float>(batch.size());
+
+    // Taylor mode scores every unit from a single forward+backward pass:
+    // enable capture everywhere, run once, then read (a, dL/da) per unit.
+    std::vector<Tensor> thetas(model.units.size());
+    if (cfg_.mode == ScoreMode::kTaylor) {
+      std::vector<std::unique_ptr<CaptureGuard>> guards;
+      guards.reserve(model.units.size());
+      for (auto& unit : model.units) {
+        guards.push_back(std::make_unique<CaptureGuard>(unit.score_point));
+      }
+      nn::SoftmaxCrossEntropy ce;
+      const Tensor logits = model.forward(batch.images, /*training=*/false);
+      ce.forward(logits, batch.labels);
+      model.backward(ce.backward());
+      const float n = static_cast<float>(batch.size());
+      for (size_t u = 0; u < model.units.size(); ++u) {
+        const Tensor& a = model.units[u].score_point->instrument().captured_output;
+        const Tensor& g = model.units[u].score_point->instrument().captured_grad;
+        if (a.empty() || g.empty()) {
+          throw std::logic_error("importance: no capture for unit " + model.units[u].name);
+        }
+        Tensor theta(a.shape());
+        for (int64_t i = 0; i < a.numel(); ++i) theta[i] = std::fabs(a[i] * g[i] * n);
+        thetas[u] = std::move(theta);
+      }
+    }
+
+    for (size_t u = 0; u < model.units.size(); ++u) {
+      const Tensor theta = cfg_.mode == ScoreMode::kTaylor
+                               ? std::move(thetas[u])
+                               : exact_activation_scores(model, u, batch);
+
+      // Resolve tau for this (class, unit): fixed (paper rule) or a
+      // quantile of the unit's own positive scores. Per-unit adaptation
+      // matters because activation magnitudes vary strongly with depth —
+      // a network-wide threshold would zero out whole layers whose
+      // activations are merely smaller-scaled, not less class-relevant.
+      float tau = cfg_.tau;
+      if (cfg_.tau_mode == TauMode::kQuantile) {
+        std::vector<float> positive;
+        positive.reserve(static_cast<size_t>(theta.numel()));
+        for (int64_t i = 0; i < theta.numel(); ++i) {
+          if (theta[i] > 0.0f) positive.push_back(theta[i]);
+        }
+        if (!positive.empty()) {
+          const float q = std::clamp(cfg_.tau_quantile, 0.0f, 1.0f);
+          const auto k =
+              static_cast<size_t>(q * static_cast<double>(positive.size() - 1));
+          std::nth_element(positive.begin(), positive.begin() + static_cast<int64_t>(k),
+                           positive.end());
+          tau = positive[k];
+        }
+      }
+      const int64_t n = theta.dim(0);
+      const int64_t f = theta.dim(1);
+      const int64_t plane = theta.numel() / (n * f);
+
+      // Eq. 5 + Eq. 6: binarise against tau, average over the M images.
+      std::vector<float> s_ave(static_cast<size_t>(f * plane), 0.0f);
+      for (int64_t img = 0; img < n; ++img) {
+        const float* t = theta.data() + img * f * plane;
+        for (int64_t k = 0; k < f * plane; ++k) {
+          if (t[k] > tau) s_ave[static_cast<size_t>(k)] += 1.0f / m;
+        }
+      }
+
+      // Eq. 7: aggregate the activation scores of each filter.
+      std::vector<float>& cls_scores = result.units[u].per_class[static_cast<size_t>(cls)];
+      cls_scores.assign(static_cast<size_t>(f), 0.0f);
+      for (int64_t filter = 0; filter < f; ++filter) {
+        const float* s = s_ave.data() + filter * plane;
+        float agg = 0.0f;
+        if (cfg_.aggregate == SpatialAggregate::kMax) {
+          for (int64_t k = 0; k < plane; ++k) agg = s[k] > agg ? s[k] : agg;
+        } else {
+          for (int64_t k = 0; k < plane; ++k) agg += s[k];
+          agg /= static_cast<float>(plane);
+        }
+        cls_scores[static_cast<size_t>(filter)] = agg;
+        result.units[u].total[static_cast<size_t>(filter)] += agg;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace capr::core

@@ -1,0 +1,130 @@
+#include "core/modified_loss.h"
+
+#include <stdexcept>
+
+#include "nn/linear.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace capr::core {
+namespace {
+
+using nn::Conv2d;
+using nn::Linear;
+
+/// d(||W||_1)/dW = sign(W); accumulated scaled into grad.
+float l1_term(const Tensor& w, Tensor& grad, float lambda) {
+  double penalty = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    penalty += std::abs(w[i]);
+    if (w[i] > 0.0f) {
+      grad[i] += lambda;
+    } else if (w[i] < 0.0f) {
+      grad[i] -= lambda;
+    }
+  }
+  return static_cast<float>(penalty);
+}
+
+}  // namespace
+
+float orth_penalty_filter_matrix(const Conv2d& conv, Tensor* grad, float scale) {
+  const Tensor k = conv.filter_matrix();  // [F, D]
+  const int64_t f = k.dim(0);
+  // G = K K^T - I
+  Tensor g = matmul_nt(k, k);
+  for (int64_t i = 0; i < f; ++i) g[i * f + i] -= 1.0f;
+  double penalty = 0.0;
+  for (int64_t i = 0; i < g.numel(); ++i) penalty += static_cast<double>(g[i]) * g[i];
+  if (grad != nullptr) {
+    // d||G||_F^2/dK = 4 G K (G symmetric); grad has the conv weight shape,
+    // which is the filter matrix in memory.
+    Tensor gk = matmul(g, k);  // [F, D]
+    if (grad->numel() != gk.numel()) {
+      throw std::invalid_argument("orth gradient: shape mismatch with conv weight");
+    }
+    for (int64_t i = 0; i < gk.numel(); ++i) (*grad)[i] += scale * 4.0f * gk[i];
+  }
+  return static_cast<float>(penalty);
+}
+
+Tensor toeplitz_matrix(const Conv2d& conv, int64_t in_h, int64_t in_w) {
+  ConvGeom geom;
+  geom.in_channels = conv.in_channels();
+  geom.in_h = in_h;
+  geom.in_w = in_w;
+  geom.kernel_h = conv.kernel();
+  geom.kernel_w = conv.kernel();
+  geom.stride = conv.stride();
+  geom.padding = conv.padding();
+  geom.validate();
+  const int64_t oh = geom.out_h(), ow = geom.out_w();
+  const int64_t rows = conv.out_channels() * oh * ow;
+  const int64_t cols = conv.in_channels() * in_h * in_w;
+  Tensor t({rows, cols});
+  const Tensor& w = conv.weight().value;
+  const int64_t k = conv.kernel();
+  for (int64_t f = 0; f < conv.out_channels(); ++f) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const int64_t row = (f * oh + oy) * ow + ox;
+        for (int64_t c = 0; c < conv.in_channels(); ++c) {
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t iy = oy * conv.stride() + kh - conv.padding();
+            if (iy < 0 || iy >= in_h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ix = ox * conv.stride() + kw - conv.padding();
+              if (ix < 0 || ix >= in_w) continue;
+              const int64_t col = (c * in_h + iy) * in_w + ix;
+              t[row * cols + col] = w[((f * conv.in_channels() + c) * k + kh) * k + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return t;
+}
+
+float orth_penalty_toeplitz(const Conv2d& conv, int64_t in_h, int64_t in_w) {
+  const Tensor t = toeplitz_matrix(conv, in_h, in_w);
+  const int64_t rows = t.dim(0);
+  Tensor g = matmul_nt(t, t);
+  for (int64_t i = 0; i < rows; ++i) g[i * rows + i] -= 1.0f;
+  double penalty = 0.0;
+  for (int64_t i = 0; i < g.numel(); ++i) penalty += static_cast<double>(g[i]) * g[i];
+  return static_cast<float>(penalty);
+}
+
+float ModifiedLoss::apply(nn::Model& model) {
+  double total = 0.0;
+  model.net->visit([this, &total](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      if (cfg_.lambda1 != 0.0f) {
+        total += static_cast<double>(cfg_.lambda1) *
+                 l1_term(conv->weight().value, conv->weight().grad, cfg_.lambda1);
+      }
+      if (cfg_.lambda2 != 0.0f) {
+        if (cfg_.orth_form == OrthForm::kFilterMatrix) {
+          total += static_cast<double>(cfg_.lambda2) *
+                   orth_penalty_filter_matrix(*conv, &conv->weight().grad, cfg_.lambda2);
+        } else {
+          // Exact Toeplitz penalty; gradient via the filter-matrix
+          // surrogate (same zero set, compatible descent direction).
+          total += static_cast<double>(cfg_.lambda2) *
+                   orth_penalty_toeplitz(*conv, cfg_.toeplitz_h, cfg_.toeplitz_w);
+          orth_penalty_filter_matrix(*conv, &conv->weight().grad, cfg_.lambda2);
+        }
+      }
+    } else if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+      if (cfg_.lambda1 != 0.0f && cfg_.l1_on_linear) {
+        total += static_cast<double>(cfg_.lambda1) *
+                 l1_term(lin->weight().value, lin->weight().grad, cfg_.lambda1);
+      }
+    }
+  });
+  return static_cast<float>(total);
+}
+
+}  // namespace capr::core

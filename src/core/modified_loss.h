@@ -1,0 +1,70 @@
+// The paper's modified training cost (Section III-A, Eq. 1-2):
+//
+//     L = L_CE + lambda1 * sum_l ||W_l||_1
+//              + lambda2 * sum_l ||K_l K_l^T - I||
+//
+// L1 drives unimportant filters toward exact zeros; the orthogonality
+// term pushes surviving filters toward diverse, many-class features.
+// Together they polarise the importance-score distribution (paper Fig. 8).
+//
+// K is the conv weight in operator form. Two forms are provided:
+//  - kFilterMatrix (default): K = W reshaped to [Cout, Cin*Kh*Kw]. This is
+//    the standard kernel-orthogonality surrogate, O(Cout^2 * CinK^2).
+//  - kToeplitz: the exact doubly-blocked-Toeplitz operator of the paper's
+//    Fig. 2, built for a given input geometry. Exact but O((Cout*OH*OW)^2)
+//    — exposed mainly for validation on small shapes.
+// The penalty is the squared Frobenius norm (differentiable everywhere,
+// gradient 4*(KK^T - I)*K).
+#pragma once
+
+#include "nn/conv2d.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace capr::core {
+
+enum class OrthForm { kFilterMatrix, kToeplitz };
+
+struct ModifiedLossConfig {
+  float lambda1 = 1e-4f;  // paper value
+  float lambda2 = 1e-2f;  // paper value
+  OrthForm orth_form = OrthForm::kFilterMatrix;
+  /// Apply L1 to linear layers too (the paper sums over all layers).
+  bool l1_on_linear = true;
+  /// Input spatial size used when orth_form == kToeplitz.
+  int64_t toeplitz_h = 8;
+  int64_t toeplitz_w = 8;
+};
+
+/// Regularizer implementing Eq. 1's two penalty terms. Plug into
+/// nn::train(); passing lambda1 = lambda2 = 0 reproduces plain CE
+/// training (the "no regularization" ablation of Table III).
+class ModifiedLoss final : public nn::Regularizer {
+ public:
+  explicit ModifiedLoss(ModifiedLossConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Adds d(penalty)/dW to every conv/linear weight grad; returns the
+  /// penalty value (lambda-weighted).
+  float apply(nn::Model& model) override;
+
+  const ModifiedLossConfig& config() const { return cfg_; }
+
+ private:
+  ModifiedLossConfig cfg_;
+};
+
+/// Penalty ||KK^T - I||_F^2 for one conv's filter matrix, and its
+/// gradient accumulated into `grad` (same shape as the conv weight),
+/// scaled by `scale`. Returns the unscaled penalty.
+float orth_penalty_filter_matrix(const nn::Conv2d& conv, Tensor* grad, float scale);
+
+/// Builds the doubly-blocked-Toeplitz operator of the paper's Fig. 2:
+/// rows enumerate (filter, output position), columns enumerate flattened
+/// input elements; multiplying it with a flattened input reproduces the
+/// convolution. Dense representation; use only on small geometries.
+Tensor toeplitz_matrix(const nn::Conv2d& conv, int64_t in_h, int64_t in_w);
+
+/// Penalty ||TT^T - I||_F^2 using the Toeplitz form (no gradient).
+float orth_penalty_toeplitz(const nn::Conv2d& conv, int64_t in_h, int64_t in_w);
+
+}  // namespace capr::core

@@ -1,0 +1,96 @@
+#include "core/pruner.h"
+
+#include <map>
+
+namespace capr::core {
+
+PruneRunResult ClassAwarePruner::run(nn::Model& model, const data::Dataset& train_set,
+                                     const data::Dataset& test_set) {
+  PruneRunResult result;
+  const flops::ModelCost cost_before = flops::count(model);
+  result.original_accuracy = nn::evaluate(model, test_set);
+
+  ImportanceEvaluator evaluator(cfg_.importance);
+  ModifiedLoss reg(cfg_.loss);
+  nn::Regularizer* finetune_reg = cfg_.finetune_with_modified_loss ? &reg : nullptr;
+
+  result.scores_before = evaluator.evaluate(model, train_set);
+  result.stop_reason = "max iterations reached";
+
+  const bool can_rollback = static_cast<bool>(cfg_.model_factory);
+  PruneHistory tracker(model);
+
+  float accuracy = result.original_accuracy;
+  for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+    const ImportanceResult scores =
+        iter == 0 ? result.scores_before : evaluator.evaluate(model, train_set);
+    const std::vector<UnitSelection> selection = select_filters(scores, cfg_.strategy);
+    if (selection.empty()) {
+      result.stop_reason = "no prunable filters remain";
+      break;
+    }
+
+    // Snapshot for rollback before mutating the model.
+    std::map<std::string, Tensor> weights_snapshot;
+    std::vector<std::vector<int64_t>> kept_snapshot;
+    if (can_rollback) {
+      weights_snapshot = model.state_dict();
+      kept_snapshot = tracker.snapshot();
+    }
+
+    const int64_t removed = apply_selection(model, selection);
+    tracker.apply(selection);
+
+    nn::TrainConfig ft = cfg_.finetune;
+    ft.loader_seed = cfg_.finetune.loader_seed + static_cast<uint64_t>(iter) + 1;
+    nn::train(model, train_set, ft, finetune_reg);
+    float new_accuracy = nn::evaluate(model, test_set);
+
+    // Spend extra recovery fine-tuning before declaring the iteration
+    // unrecoverable (the paper fine-tunes for up to 130 epochs).
+    for (int round = 0; round < cfg_.recovery_rounds &&
+                        result.original_accuracy - new_accuracy > cfg_.max_accuracy_drop;
+         ++round) {
+      ft.loader_seed += 7919;
+      nn::train(model, train_set, ft, finetune_reg);
+      new_accuracy = nn::evaluate(model, test_set);
+    }
+
+    if (result.original_accuracy - new_accuracy > cfg_.max_accuracy_drop) {
+      result.stop_reason = "accuracy drop not recovered by fine-tuning";
+      if (can_rollback) {
+        tracker.restore(std::move(kept_snapshot));
+        nn::Model fresh = cfg_.model_factory();
+        const auto removed_orig = tracker.removed_original();
+        for (size_t u = 0; u < removed_orig.size(); ++u) {
+          if (!removed_orig[u].empty()) remove_filters(fresh, u, removed_orig[u]);
+        }
+        fresh.load_state_dict(weights_snapshot);
+        model = std::move(fresh);
+        result.stop_reason += " (iteration rolled back)";
+      } else {
+        accuracy = new_accuracy;
+        const flops::ModelCost cost_now = flops::count(model);
+        const IterationRecord rec{iter, removed, total_prunable_filters(model), new_accuracy,
+                                  cost_now.total_params, cost_now.total_flops};
+        if (cfg_.on_iteration) cfg_.on_iteration(rec);
+        result.iterations.push_back(rec);
+      }
+      break;
+    }
+
+    accuracy = new_accuracy;
+    const flops::ModelCost cost_now = flops::count(model);
+    const IterationRecord rec{iter, removed, total_prunable_filters(model), new_accuracy,
+                              cost_now.total_params, cost_now.total_flops};
+    if (cfg_.on_iteration) cfg_.on_iteration(rec);
+    result.iterations.push_back(rec);
+  }
+
+  result.final_accuracy = accuracy;
+  result.scores_after = evaluator.evaluate(model, train_set);
+  result.report = flops::compare(cost_before, flops::count(model));
+  return result;
+}
+
+}  // namespace capr::core

@@ -1,0 +1,88 @@
+// The overall class-aware pruning framework (paper Section III-D, Fig. 5):
+//
+//   train with modified cost -> evaluate importance scores -> prune
+//   filters important for few classes -> fine-tune -> repeat until no
+//   filter is prunable or the accuracy cannot be recovered.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/importance.h"
+#include "core/modified_loss.h"
+#include "core/strategy.h"
+#include "core/surgeon.h"
+#include "flops/flops.h"
+#include "nn/trainer.h"
+
+namespace capr::core {
+
+struct IterationRecord {
+  int iteration = 0;
+  int64_t filters_removed = 0;
+  int64_t filters_remaining = 0;
+  float accuracy_after_finetune = 0.0f;
+  int64_t params = 0;
+  int64_t flops = 0;
+};
+
+struct ClassAwarePrunerConfig {
+  ImportanceConfig importance{};
+  PruneStrategyConfig strategy{};
+  ModifiedLossConfig loss{};
+  /// Fine-tuning schedule applied after every pruning iteration (the
+  /// paper retrains up to 130 epochs on an A100; scale to the host).
+  nn::TrainConfig finetune{};
+  /// Stop when (original accuracy - fine-tuned accuracy) exceeds this.
+  float max_accuracy_drop = 0.02f;
+  /// Extra fine-tuning rounds attempted when an iteration violates the
+  /// drop bound, before declaring it unrecoverable. Mirrors the paper's
+  /// "retraining was performed for up to 130 epochs" — recovery effort
+  /// scales with need, not a fixed schedule.
+  int recovery_rounds = 2;
+  int max_iterations = 20;
+  /// Fine-tune with the modified cost (Eq. 1), as the paper does.
+  bool finetune_with_modified_loss = true;
+  /// Optional observer invoked after each completed iteration (also the
+  /// failing one, before any rollback) — used for progress reporting.
+  std::function<void(const IterationRecord&)> on_iteration;
+  /// Optional factory returning a fresh, unpruned copy of the model
+  /// architecture (same builder, same init config). When provided, an
+  /// iteration whose accuracy cannot be recovered is ROLLED BACK: the
+  /// pruner rebuilds the pre-iteration model (replaying the cumulative
+  /// filter removals and reloading the weights) so the reported model is
+  /// the last one that satisfied the drop bound — the operating point the
+  /// paper's tables quote. Without a factory the degraded model is kept.
+  std::function<nn::Model()> model_factory;
+};
+
+struct PruneRunResult {
+  float original_accuracy = 0.0f;
+  float final_accuracy = 0.0f;
+  flops::PruningReport report;
+  std::vector<IterationRecord> iterations;
+  /// Score snapshots for the figure benches (Figs. 4 and 7).
+  ImportanceResult scores_before;
+  ImportanceResult scores_after;
+  std::string stop_reason;
+};
+
+/// Drives the iterative prune/fine-tune loop on an already-trained model.
+class ClassAwarePruner {
+ public:
+  explicit ClassAwarePruner(ClassAwarePrunerConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Prunes `model` in place. `train_set` supplies both the scoring
+  /// images (M per class) and the fine-tuning batches; `test_set` is
+  /// used for the stop rule and reporting.
+  PruneRunResult run(nn::Model& model, const data::Dataset& train_set,
+                     const data::Dataset& test_set);
+
+  const ClassAwarePrunerConfig& config() const { return cfg_; }
+
+ private:
+  ClassAwarePrunerConfig cfg_;
+};
+
+}  // namespace capr::core

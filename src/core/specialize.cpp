@@ -1,0 +1,134 @@
+#include "core/specialize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/surgeon.h"
+#include "nn/linear.h"
+
+namespace capr::core {
+namespace {
+
+/// The classifier head: the last Linear in the top-level layer graph.
+nn::Linear* find_head(nn::Model& model) {
+  for (size_t i = model.net->size(); i-- > 0;) {
+    if (auto* lin = dynamic_cast<nn::Linear*>(&model.net->child(i))) return lin;
+  }
+  throw std::logic_error("specialize: model has no Linear classifier head");
+}
+
+}  // namespace
+
+data::Dataset restrict_to_classes(const data::Dataset& set,
+                                  const std::vector<int64_t>& classes) {
+  if (classes.empty()) throw std::invalid_argument("restrict_to_classes: empty class list");
+  std::vector<int64_t> remap(static_cast<size_t>(set.num_classes()), -1);
+  for (size_t k = 0; k < classes.size(); ++k) {
+    const int64_t cls = classes[k];
+    if (cls < 0 || cls >= set.num_classes()) {
+      throw std::out_of_range("restrict_to_classes: class " + std::to_string(cls) +
+                              " out of range");
+    }
+    if (remap[static_cast<size_t>(cls)] != -1) {
+      throw std::invalid_argument("restrict_to_classes: duplicate class " +
+                                  std::to_string(cls));
+    }
+    remap[static_cast<size_t>(cls)] = static_cast<int64_t>(k);
+  }
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < set.size(); ++i) {
+    if (remap[static_cast<size_t>(set.label(i))] != -1) indices.push_back(i);
+  }
+  data::Batch gathered = set.gather(indices);
+  std::vector<int64_t> labels(gathered.labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = remap[static_cast<size_t>(gathered.labels[i])];
+  }
+  return data::Dataset(std::move(gathered.images), std::move(labels),
+                       static_cast<int64_t>(classes.size()));
+}
+
+SpecializeResult specialize_to_classes(nn::Model& model, const data::Dataset& train_set,
+                                       const data::Dataset& test_set,
+                                       const std::vector<int64_t>& classes,
+                                       const SpecializeConfig& cfg) {
+  if (model.num_classes != train_set.num_classes()) {
+    throw std::invalid_argument("specialize: model/dataset class count mismatch");
+  }
+  const auto k = static_cast<int64_t>(classes.size());
+  if (k <= 1 || k >= model.num_classes) {
+    throw std::invalid_argument("specialize: need 1 < |classes| < num_classes");
+  }
+
+  const flops::ModelCost cost_before = flops::count(model);
+
+  // 1. Per-class importance on the ORIGINAL model and dataset.
+  ImportanceEvaluator evaluator(cfg.importance);
+  const ImportanceResult full_scores = evaluator.evaluate(model, train_set);
+
+  // 2. Re-total the scores over the kept classes only.
+  ImportanceResult subset_scores;
+  subset_scores.num_classes = k;
+  for (const UnitScores& u : full_scores.units) {
+    UnitScores s;
+    s.unit_name = u.unit_name;
+    s.unit_index = u.unit_index;
+    s.total.assign(u.total.size(), 0.0f);
+    for (int64_t cls : classes) {
+      const auto& per = u.per_class[static_cast<size_t>(cls)];
+      for (size_t f = 0; f < per.size(); ++f) s.total[f] += per[f];
+    }
+    subset_scores.units.push_back(std::move(s));
+  }
+
+  // 3. Shrink the classifier head to the kept rows (in the given order).
+  nn::Linear* head = find_head(model);
+  std::vector<int64_t> dropped;
+  for (int64_t cls = 0; cls < model.num_classes; ++cls) {
+    if (std::find(classes.begin(), classes.end(), cls) == classes.end()) {
+      dropped.push_back(cls);
+    }
+  }
+  head->remove_out_features(dropped);
+  model.num_classes = k;
+  // remove_out_features keeps ascending order; reorder rows if the caller
+  // asked for a non-ascending class order.
+  std::vector<int64_t> kept_sorted(classes);
+  std::sort(kept_sorted.begin(), kept_sorted.end());
+  if (kept_sorted != classes) {
+    Tensor w = head->weight().value;
+    Tensor b = head->bias().value;
+    for (size_t row = 0; row < classes.size(); ++row) {
+      const auto src = static_cast<int64_t>(
+          std::find(kept_sorted.begin(), kept_sorted.end(), classes[row]) -
+          kept_sorted.begin());
+      std::copy(w.data() + src * head->in_features(),
+                w.data() + (src + 1) * head->in_features(),
+                head->weight().value.data() + static_cast<int64_t>(row) * head->in_features());
+      head->bias().value[static_cast<int64_t>(row)] = b[src];
+    }
+  }
+
+  const data::Dataset sub_train = restrict_to_classes(train_set, classes);
+  const data::Dataset sub_test = restrict_to_classes(test_set, classes);
+
+  SpecializeResult result;
+  result.subset_accuracy_before = nn::evaluate(model, sub_test);
+
+  // 4. Prune filters unimportant for the kept classes.
+  PruneStrategyConfig strat;
+  strat.mode = StrategyMode::kBoth;
+  strat.score_threshold = cfg.threshold_fraction * static_cast<float>(k);
+  strat.max_fraction_per_iter = cfg.max_fraction;
+  strat.min_filters_per_layer = cfg.min_filters_per_layer;
+  const std::vector<UnitSelection> selection = select_filters(subset_scores, strat);
+  result.filters_removed = apply_selection(model, selection);
+
+  // 5. Fine-tune on the retained classes and report.
+  nn::train(model, sub_train, cfg.finetune);
+  result.subset_accuracy_after = nn::evaluate(model, sub_test);
+  result.report = flops::compare(cost_before, flops::count(model));
+  return result;
+}
+
+}  // namespace capr::core

@@ -1,0 +1,61 @@
+// Class-subset specialization — an application the class-aware scores
+// make possible beyond the paper's experiments.
+//
+// Edge deployments frequently need only a subset of a classifier's
+// classes (a door camera needs {person, car, pet}, not all hundred).
+// Because the importance evaluation (Eqs. 4-7) produces a PER-CLASS
+// score s_{f,n} for every filter, specialization is a direct corollary:
+// sum the scores over the retained classes only, prune filters that are
+// unimportant for that subset, shrink the classifier head to the kept
+// rows, and fine-tune on the retained classes. Filters that existed only
+// to tell discarded classes apart are exactly the ones removed.
+#pragma once
+
+#include <vector>
+
+#include "core/importance.h"
+#include "core/strategy.h"
+#include "flops/flops.h"
+#include "nn/trainer.h"
+
+namespace capr::core {
+
+struct SpecializeConfig {
+  ImportanceConfig importance{};
+  /// Filters whose summed score over the KEPT classes is below
+  /// threshold_fraction * |kept| are candidates (the 0.3*C rule applied
+  /// to the subset).
+  float threshold_fraction = 0.3f;
+  /// Upper bound on the fraction of filters removed in the single
+  /// specialization pass.
+  float max_fraction = 0.5f;
+  int64_t min_filters_per_layer = 2;
+  /// Fine-tuning on the retained classes after surgery.
+  nn::TrainConfig finetune{};
+};
+
+struct SpecializeResult {
+  /// Accuracy on the retained classes before specialization (original
+  /// model, original head restricted to kept classes).
+  float subset_accuracy_before = 0.0f;
+  /// Accuracy of the specialized model on the retained classes.
+  float subset_accuracy_after = 0.0f;
+  int64_t filters_removed = 0;
+  flops::PruningReport report;
+};
+
+/// Restriction of `set` to `classes`, with labels remapped to 0..k-1 in
+/// the order given. Throws if a class is out of range or duplicated.
+data::Dataset restrict_to_classes(const data::Dataset& set,
+                                  const std::vector<int64_t>& classes);
+
+/// Specializes `model` in place to `classes`: scores filters on the full
+/// training set, prunes those unimportant for the kept classes, shrinks
+/// the classifier head (the final Linear of the model graph), and
+/// fine-tunes on the restricted training set.
+SpecializeResult specialize_to_classes(nn::Model& model, const data::Dataset& train_set,
+                                       const data::Dataset& test_set,
+                                       const std::vector<int64_t>& classes,
+                                       const SpecializeConfig& cfg);
+
+}  // namespace capr::core

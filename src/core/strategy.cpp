@@ -1,0 +1,94 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capr::core {
+namespace {
+
+struct Candidate {
+  size_t unit_index;
+  int64_t filter;
+  float score;
+};
+
+}  // namespace
+
+float effective_threshold(const PruneStrategyConfig& cfg, int64_t num_classes) {
+  if (cfg.score_threshold >= 0.0f) return cfg.score_threshold;
+  return 0.3f * static_cast<float>(num_classes);
+}
+
+int64_t selection_size(const std::vector<UnitSelection>& sel) {
+  int64_t n = 0;
+  for (const auto& s : sel) n += static_cast<int64_t>(s.filters.size());
+  return n;
+}
+
+std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
+                                          const PruneStrategyConfig& cfg) {
+  if (cfg.max_fraction_per_iter <= 0.0f || cfg.max_fraction_per_iter > 1.0f) {
+    throw std::invalid_argument("PruneStrategy: max_fraction_per_iter must be in (0, 1]");
+  }
+  if (cfg.max_layer_fraction_per_iter <= 0.0f || cfg.max_layer_fraction_per_iter > 1.0f) {
+    throw std::invalid_argument(
+        "PruneStrategy: max_layer_fraction_per_iter must be in (0, 1]");
+  }
+  const float threshold = effective_threshold(cfg, scores.num_classes);
+
+  // Gather candidates, honouring the per-layer floor by never offering a
+  // unit's top (min_filters_per_layer) filters for removal.
+  std::vector<Candidate> candidates;
+  int64_t total_filters = 0;
+  for (const UnitScores& u : scores.units) {
+    const int64_t f = static_cast<int64_t>(u.total.size());
+    total_filters += f;
+    const auto layer_cap = static_cast<int64_t>(
+        static_cast<double>(f) * cfg.max_layer_fraction_per_iter);
+    const int64_t removable = std::min(f - cfg.min_filters_per_layer, layer_cap);
+    if (removable <= 0) continue;
+    // Rank filters within the unit by score ascending.
+    std::vector<int64_t> order(static_cast<size_t>(f));
+    for (int64_t i = 0; i < f; ++i) order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&u](int64_t a, int64_t b) {
+      return u.total[static_cast<size_t>(a)] < u.total[static_cast<size_t>(b)];
+    });
+    for (int64_t k = 0; k < removable; ++k) {
+      const int64_t filter = order[static_cast<size_t>(k)];
+      candidates.push_back({u.unit_index, filter, u.total[static_cast<size_t>(filter)]});
+    }
+  }
+
+  // Threshold gate (kThreshold and kBoth).
+  if (cfg.mode != StrategyMode::kPercentage) {
+    std::erase_if(candidates, [threshold](const Candidate& c) { return c.score >= threshold; });
+  }
+
+  // Global percentage cap (kPercentage and kBoth): lowest scores first.
+  if (cfg.mode != StrategyMode::kThreshold) {
+    const auto cap = static_cast<int64_t>(
+        static_cast<double>(total_filters) * cfg.max_fraction_per_iter);
+    if (static_cast<int64_t>(candidates.size()) > cap) {
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
+      candidates.resize(static_cast<size_t>(std::max<int64_t>(cap, 0)));
+    }
+  }
+
+  // Group by unit.
+  std::vector<UnitSelection> out;
+  for (const UnitScores& u : scores.units) {
+    UnitSelection sel;
+    sel.unit_index = u.unit_index;
+    for (const Candidate& c : candidates) {
+      if (c.unit_index == u.unit_index) sel.filters.push_back(c.filter);
+    }
+    if (!sel.filters.empty()) {
+      std::sort(sel.filters.begin(), sel.filters.end());
+      out.push_back(std::move(sel));
+    }
+  }
+  return out;
+}
+
+}  // namespace capr::core

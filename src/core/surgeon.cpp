@@ -1,0 +1,89 @@
+#include "core/surgeon.h"
+
+#include <stdexcept>
+
+namespace capr::core {
+
+void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64_t>& filters) {
+  if (unit_index >= model.units.size()) {
+    throw std::out_of_range("remove_filters: unit index out of range");
+  }
+  if (filters.empty()) return;
+  nn::PrunableUnit& unit = model.units[unit_index];
+
+  unit.conv->remove_out_channels(filters);
+  if (unit.bn != nullptr) unit.bn->remove_channels(filters);
+  for (nn::ConsumerRef& c : unit.consumers) {
+    if (c.conv != nullptr) {
+      c.conv->remove_in_channels(filters);
+    } else if (c.linear != nullptr) {
+      if (c.spatial <= 0) throw std::logic_error("ConsumerRef: non-positive spatial factor");
+      std::vector<int64_t> features;
+      features.reserve(filters.size() * static_cast<size_t>(c.spatial));
+      for (int64_t f : filters) {
+        for (int64_t k = 0; k < c.spatial; ++k) features.push_back(f * c.spatial + k);
+      }
+      c.linear->remove_in_features(features);
+    } else {
+      throw std::logic_error("ConsumerRef: neither conv nor linear set");
+    }
+  }
+}
+
+int64_t apply_selection(nn::Model& model, const std::vector<UnitSelection>& selection) {
+  int64_t removed = 0;
+  for (const UnitSelection& sel : selection) {
+    remove_filters(model, sel.unit_index, sel.filters);
+    removed += static_cast<int64_t>(sel.filters.size());
+  }
+  return removed;
+}
+
+int64_t total_prunable_filters(const nn::Model& model) {
+  int64_t n = 0;
+  for (const nn::PrunableUnit& u : model.units) n += u.conv->out_channels();
+  return n;
+}
+
+PruneHistory::PruneHistory(const nn::Model& model) {
+  kept_.reserve(model.units.size());
+  for (const nn::PrunableUnit& u : model.units) {
+    std::vector<int64_t> all(static_cast<size_t>(u.conv->out_channels()));
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+    kept_.push_back(std::move(all));
+    original_counts_.push_back(u.conv->out_channels());
+  }
+}
+
+void PruneHistory::apply(const std::vector<UnitSelection>& selection) {
+  for (const UnitSelection& sel : selection) {
+    std::vector<int64_t>& kept = kept_.at(sel.unit_index);
+    // sel.filters is sorted ascending; erase from the back so earlier
+    // positions stay valid during removal.
+    for (auto it = sel.filters.rbegin(); it != sel.filters.rend(); ++it) {
+      if (*it < 0 || *it >= static_cast<int64_t>(kept.size())) {
+        throw std::out_of_range("PruneHistory: filter index " + std::to_string(*it) +
+                                " out of range for unit with " +
+                                std::to_string(kept.size()) + " live filters");
+      }
+      kept.erase(kept.begin() + static_cast<int64_t>(*it));
+    }
+  }
+}
+
+std::vector<std::vector<int64_t>> PruneHistory::removed_original() const {
+  std::vector<std::vector<int64_t>> out(kept_.size());
+  for (size_t u = 0; u < kept_.size(); ++u) {
+    size_t k = 0;
+    for (int64_t i = 0; i < original_counts_[u]; ++i) {
+      if (k < kept_[u].size() && kept_[u][k] == i) {
+        ++k;
+      } else {
+        out[u].push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace capr::core

@@ -1,0 +1,64 @@
+// Structural filter removal.
+//
+// Removing output filter c of a prunable conv requires coordinated edits:
+//   - drop row c of the conv weight (and bias),
+//   - drop channel c of the following BatchNorm,
+//   - drop input channel c of every consumer conv, or the feature block
+//     [c*spatial, (c+1)*spatial) of every consumer linear.
+// The PrunableUnit metadata attached by the model builders encodes these
+// couplings; the surgeon just executes them and keeps the model's
+// invariants (a forward pass stays shape-legal after every operation).
+#pragma once
+
+#include <vector>
+
+#include "core/strategy.h"
+#include "nn/model.h"
+
+namespace capr::core {
+
+/// Removes the selected filters from one unit. Throws on invalid indices
+/// or if the removal would empty the layer.
+void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64_t>& filters);
+
+/// Applies a whole selection (all units). Returns number of filters removed.
+int64_t apply_selection(nn::Model& model, const std::vector<UnitSelection>& selection);
+
+/// Total number of filters across all prunable units.
+int64_t total_prunable_filters(const nn::Model& model);
+
+/// Replayable pruning history.
+///
+/// Surgery renumbers filters: after removing filter 2 of a 6-filter
+/// layer, the old filter 3 becomes index 2. PruneHistory tracks, per
+/// unit, which ORIGINAL indices are still present, so that
+///  - selections expressed in *current* indices can be recorded
+///    (`apply`), and
+///  - the cumulative removal can be replayed onto a FRESH unpruned model
+///    (`removed_original`), which is how ClassAwarePruner rolls back an
+///    unrecoverable iteration and how pruned checkpoints are reloaded
+///    (see examples/resnet_pruning.cpp).
+class PruneHistory {
+ public:
+  explicit PruneHistory(const nn::Model& model);
+
+  /// Records a selection (current-index space) as removed.
+  /// Throws std::out_of_range if an index exceeds the live filter count.
+  void apply(const std::vector<UnitSelection>& selection);
+
+  /// Removed original indices per unit (complement of the kept sets).
+  std::vector<std::vector<int64_t>> removed_original() const;
+
+  /// Kept original indices of one unit (sorted ascending).
+  const std::vector<int64_t>& kept(size_t unit) const { return kept_.at(unit); }
+
+  /// Snapshot/restore for transactional use.
+  std::vector<std::vector<int64_t>> snapshot() const { return kept_; }
+  void restore(std::vector<std::vector<int64_t>> snap) { kept_ = std::move(snap); }
+
+ private:
+  std::vector<std::vector<int64_t>> kept_;
+  std::vector<int64_t> original_counts_;
+};
+
+}  // namespace capr::core

@@ -1,0 +1,106 @@
+#include "data/cifar_binary.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace capr::data {
+namespace {
+
+constexpr int64_t kImageBytes = 3 * 32 * 32;
+// Conventional CIFAR normalisation statistics (per channel, RGB).
+constexpr float kMean[3] = {0.4914f, 0.4822f, 0.4465f};
+constexpr float kStd[3] = {0.2470f, 0.2435f, 0.2616f};
+
+std::vector<uint8_t> read_all(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error("CIFAR: cannot open " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) throw std::runtime_error("CIFAR: short read on " + path);
+  return bytes;
+}
+
+/// Merges datasets with identical image shapes.
+Dataset concat(const std::vector<Dataset>& parts, int64_t num_classes) {
+  int64_t total = 0;
+  for (const Dataset& p : parts) total += p.size();
+  if (total == 0) throw std::runtime_error("CIFAR: no records found");
+  const Shape img = parts.front().image_shape();
+  Tensor images({total, img[0], img[1], img[2]});
+  std::vector<int64_t> labels;
+  labels.reserve(static_cast<size_t>(total));
+  const int64_t stride = numel_of(img);
+  int64_t row = 0;
+  for (const Dataset& p : parts) {
+    std::copy(p.images().data(), p.images().data() + p.size() * stride,
+              images.data() + row * stride);
+    labels.insert(labels.end(), p.labels().begin(), p.labels().end());
+    row += p.size();
+  }
+  return Dataset(std::move(images), std::move(labels), num_classes);
+}
+
+}  // namespace
+
+Dataset parse_cifar_file(const std::string& path, int64_t num_classes, int64_t record_bytes,
+                         bool normalize) {
+  if (record_bytes != kImageBytes + 1 && record_bytes != kImageBytes + 2) {
+    throw std::invalid_argument("CIFAR: record size must be 3073 or 3074 bytes");
+  }
+  const std::vector<uint8_t> bytes = read_all(path);
+  if (bytes.empty() || bytes.size() % static_cast<size_t>(record_bytes) != 0) {
+    throw std::runtime_error("CIFAR: " + path + " size " + std::to_string(bytes.size()) +
+                             " is not a multiple of the record size " +
+                             std::to_string(record_bytes));
+  }
+  const auto n = static_cast<int64_t>(bytes.size() / static_cast<size_t>(record_bytes));
+  const int64_t label_bytes = record_bytes - kImageBytes;
+
+  Tensor images({n, 3, 32, 32});
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t* rec = bytes.data() + i * record_bytes;
+    // CIFAR-100 records carry [coarse, fine]; the fine label is last.
+    const int64_t label = rec[label_bytes - 1];
+    if (label >= num_classes) {
+      throw std::runtime_error("CIFAR: label " + std::to_string(label) +
+                               " out of range in " + path);
+    }
+    labels[static_cast<size_t>(i)] = label;
+    const uint8_t* px = rec + label_bytes;
+    float* dst = images.data() + i * kImageBytes;
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t k = 0; k < 1024; ++k) {
+        float v = static_cast<float>(px[c * 1024 + k]) / 255.0f;
+        if (normalize) v = (v - kMean[c]) / kStd[c];
+        dst[c * 1024 + k] = v;
+      }
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), num_classes);
+}
+
+CifarBinary load_cifar_binary(const CifarBinaryConfig& cfg) {
+  if (cfg.num_classes != 10 && cfg.num_classes != 100) {
+    throw std::invalid_argument("CIFAR: num_classes must be 10 or 100");
+  }
+  const std::string dir = cfg.directory.empty() ? "." : cfg.directory;
+  CifarBinary out;
+  if (cfg.num_classes == 10) {
+    std::vector<Dataset> parts;
+    for (int b = 1; b <= 5; ++b) {
+      parts.push_back(parse_cifar_file(dir + "/data_batch_" + std::to_string(b) + ".bin", 10,
+                                       kImageBytes + 1, cfg.normalize));
+    }
+    out.train = concat(parts, 10);
+    out.test = parse_cifar_file(dir + "/test_batch.bin", 10, kImageBytes + 1, cfg.normalize);
+  } else {
+    out.train = parse_cifar_file(dir + "/train.bin", 100, kImageBytes + 2, cfg.normalize);
+    out.test = parse_cifar_file(dir + "/test.bin", 100, kImageBytes + 2, cfg.normalize);
+  }
+  return out;
+}
+
+}  // namespace capr::data

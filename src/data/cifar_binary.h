@@ -1,0 +1,44 @@
+// Loader for the standard CIFAR-10/100 binary distributions.
+//
+// The reproduction runs on SyntheticCifar (no dataset files ship with
+// this repository), but users with the real data can drop the canonical
+// binaries in and run every experiment unchanged:
+//   CIFAR-10:  data_batch_{1..5}.bin + test_batch.bin
+//              (1 label byte + 3072 pixel bytes per record)
+//   CIFAR-100: train.bin + test.bin
+//              (1 coarse + 1 fine label byte + 3072 pixel bytes)
+// Pixels are converted to float and normalised with the conventional
+// per-channel CIFAR statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace capr::data {
+
+struct CifarBinaryConfig {
+  /// Directory containing the .bin files.
+  std::string directory;
+  /// 10 or 100 (selects record layout and file names).
+  int64_t num_classes = 10;
+  /// Normalise with CIFAR per-channel mean/std (otherwise just /255).
+  bool normalize = true;
+};
+
+/// Loads train and test splits. Throws std::runtime_error when files are
+/// missing or malformed (sizes must be exact multiples of the record).
+struct CifarBinary {
+  Dataset train;
+  Dataset test;
+};
+CifarBinary load_cifar_binary(const CifarBinaryConfig& cfg);
+
+/// Parses one CIFAR binary file (exposed for tests). `record_bytes` is
+/// 3073 for CIFAR-10, 3074 for CIFAR-100; the label used is the last
+/// label byte (the fine label for CIFAR-100).
+Dataset parse_cifar_file(const std::string& path, int64_t num_classes, int64_t record_bytes,
+                         bool normalize);
+
+}  // namespace capr::data

@@ -1,0 +1,136 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capr::data {
+
+Dataset::Dataset(Tensor images, std::vector<int64_t> labels, int64_t num_classes)
+    : images_(std::move(images)), labels_(std::move(labels)), num_classes_(num_classes) {
+  if (images_.rank() != 4) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W], got " +
+                                to_string(images_.shape()));
+  }
+  if (static_cast<int64_t>(labels_.size()) != images_.dim(0)) {
+    throw std::invalid_argument("Dataset: label count does not match image count");
+  }
+  if (num_classes_ <= 0) throw std::invalid_argument("Dataset: num_classes must be positive");
+  for (int64_t lbl : labels_) {
+    if (lbl < 0 || lbl >= num_classes_) {
+      throw std::out_of_range("Dataset: label " + std::to_string(lbl) + " out of range");
+    }
+  }
+}
+
+Shape Dataset::image_shape() const {
+  return {images_.dim(1), images_.dim(2), images_.dim(3)};
+}
+
+Batch Dataset::gather(const std::vector<int64_t>& indices) const {
+  const int64_t c = images_.dim(1), h = images_.dim(2), w = images_.dim(3);
+  const int64_t stride = c * h * w;
+  Batch b;
+  b.images = Tensor({static_cast<int64_t>(indices.size()), c, h, w});
+  b.labels.reserve(indices.size());
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const int64_t i = indices[k];
+    if (i < 0 || i >= size()) throw std::out_of_range("Dataset::gather: index out of range");
+    std::copy(images_.data() + i * stride, images_.data() + (i + 1) * stride,
+              b.images.data() + static_cast<int64_t>(k) * stride);
+    b.labels.push_back(labels_[static_cast<size_t>(i)]);
+  }
+  return b;
+}
+
+Batch Dataset::slice(int64_t first, int64_t count) const {
+  if (first < 0 || count < 0 || first + count > size()) {
+    throw std::out_of_range("Dataset::slice out of range");
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) idx[static_cast<size_t>(i)] = first + i;
+  return gather(idx);
+}
+
+std::vector<int64_t> Dataset::indices_of_class(int64_t cls) const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (labels_[static_cast<size_t>(i)] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+Batch Dataset::sample_class(int64_t cls, int64_t m, Rng& rng) const {
+  if (m <= 0) throw std::invalid_argument("Dataset::sample_class: m must be positive");
+  std::vector<int64_t> pool = indices_of_class(cls);
+  if (pool.empty()) {
+    throw std::invalid_argument("Dataset: no examples of class " + std::to_string(cls));
+  }
+  rng.shuffle(pool);
+  if (static_cast<int64_t>(pool.size()) > m) pool.resize(static_cast<size_t>(m));
+  return gather(pool);
+}
+
+DataLoader::DataLoader(const Dataset& dataset, Options opts, Rng rng)
+    : dataset_(dataset), opts_(opts), rng_(rng) {
+  if (opts_.batch_size <= 0) throw std::invalid_argument("DataLoader: batch_size must be > 0");
+  order_.resize(static_cast<size_t>(dataset_.size()));
+  for (int64_t i = 0; i < dataset_.size(); ++i) order_[static_cast<size_t>(i)] = i;
+  reset();
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (opts_.shuffle) rng_.shuffle(order_);
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + opts_.batch_size - 1) / opts_.batch_size;
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const int64_t count = std::min(opts_.batch_size, dataset_.size() - cursor_);
+  std::vector<int64_t> idx(order_.begin() + cursor_, order_.begin() + cursor_ + count);
+  out = dataset_.gather(idx);
+  cursor_ += count;
+  if (opts_.augment) augment_batch(out);
+  return true;
+}
+
+void DataLoader::augment_batch(Batch& b) {
+  const int64_t n = b.images.dim(0), c = b.images.dim(1);
+  const int64_t h = b.images.dim(2), w = b.images.dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    // Horizontal flip with probability 1/2.
+    if (rng_.uniform() < 0.5f) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        float* plane = b.images.data() + (i * c + ch) * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+          float* row = plane + y * w;
+          std::reverse(row, row + w);
+        }
+      }
+    }
+    // Random shift in [-max_shift, max_shift] on both axes, zero fill.
+    if (opts_.max_shift > 0) {
+      const int64_t dy = rng_.uniform_int(2 * opts_.max_shift + 1) - opts_.max_shift;
+      const int64_t dx = rng_.uniform_int(2 * opts_.max_shift + 1) - opts_.max_shift;
+      if (dy == 0 && dx == 0) continue;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        float* plane = b.images.data() + (i * c + ch) * h * w;
+        std::vector<float> shifted(static_cast<size_t>(h * w), 0.0f);
+        for (int64_t y = 0; y < h; ++y) {
+          const int64_t sy = y - dy;
+          if (sy < 0 || sy >= h) continue;
+          for (int64_t x = 0; x < w; ++x) {
+            const int64_t sx = x - dx;
+            if (sx >= 0 && sx < w) shifted[static_cast<size_t>(y * w + x)] = plane[sy * w + sx];
+          }
+        }
+        std::copy(shifted.begin(), shifted.end(), plane);
+      }
+    }
+  }
+}
+
+}  // namespace capr::data

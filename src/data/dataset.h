@@ -1,0 +1,86 @@
+// In-memory labelled image dataset and batch iteration.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace capr::data {
+
+/// A batch: images [N, C, H, W] plus one label per row.
+struct Batch {
+  Tensor images;
+  std::vector<int64_t> labels;
+  int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Immutable in-memory dataset. Images are stored as one [N, C, H, W]
+/// tensor; labels are class indices in [0, num_classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<int64_t> labels, int64_t num_classes);
+
+  int64_t size() const { return images_.empty() ? 0 : images_.dim(0); }
+  int64_t num_classes() const { return num_classes_; }
+  /// Image shape excluding batch: [C, H, W].
+  Shape image_shape() const;
+
+  const Tensor& images() const { return images_; }
+  const std::vector<int64_t>& labels() const { return labels_; }
+  int64_t label(int64_t i) const { return labels_.at(static_cast<size_t>(i)); }
+
+  /// Copies the given rows into a batch.
+  Batch gather(const std::vector<int64_t>& indices) const;
+
+  /// Contiguous batch [first, first+count).
+  Batch slice(int64_t first, int64_t count) const;
+
+  /// Indices of all examples of one class.
+  std::vector<int64_t> indices_of_class(int64_t cls) const;
+
+  /// Up to `m` examples of class `cls`, sampled without replacement.
+  /// This is the "M images of this class" selection of paper Eq. 6.
+  Batch sample_class(int64_t cls, int64_t m, Rng& rng) const;
+
+ private:
+  Tensor images_;
+  std::vector<int64_t> labels_;
+  int64_t num_classes_ = 0;
+};
+
+/// Shuffling mini-batch iterator with optional train-time augmentation
+/// (horizontal flip and random shift with zero padding).
+class DataLoader {
+ public:
+  struct Options {
+    int64_t batch_size = 32;
+    bool shuffle = true;
+    bool augment = false;
+    int64_t max_shift = 2;  // pixels, when augment is on
+  };
+
+  DataLoader(const Dataset& dataset, Options opts, Rng rng);
+
+  /// Resets the epoch (reshuffles when enabled).
+  void reset();
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  Options opts_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+
+  void augment_batch(Batch& b);
+};
+
+}  // namespace capr::data

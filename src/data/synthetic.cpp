@@ -1,0 +1,120 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace capr::data {
+namespace {
+
+/// Fixed per-class generator parameters, derived deterministically from
+/// the class index via its own RNG stream.
+struct ClassPrototype {
+  float orientation;            // grating direction, radians
+  float frequency;              // cycles across the image
+  std::vector<float> phase;     // per channel
+  std::vector<float> color;     // per channel mean offset
+  float blob_x, blob_y;         // blob centre in [0.2, 0.8]
+  float blob_sigma;             // relative width
+  float blob_amp;
+};
+
+ClassPrototype make_prototype(int64_t cls, int64_t channels, uint64_t seed) {
+  Rng rng(seed ^ (0xC1A55ull * static_cast<uint64_t>(cls + 1)));
+  ClassPrototype p;
+  p.orientation = rng.uniform(0.0f, std::numbers::pi_v<float>);
+  p.frequency = rng.uniform(1.5f, 5.0f);
+  p.phase.resize(static_cast<size_t>(channels));
+  p.color.resize(static_cast<size_t>(channels));
+  for (int64_t c = 0; c < channels; ++c) {
+    p.phase[static_cast<size_t>(c)] = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    p.color[static_cast<size_t>(c)] = rng.uniform(-0.5f, 0.5f);
+  }
+  p.blob_x = rng.uniform(0.2f, 0.8f);
+  p.blob_y = rng.uniform(0.2f, 0.8f);
+  p.blob_sigma = rng.uniform(0.10f, 0.25f);
+  p.blob_amp = rng.uniform(0.6f, 1.2f);
+  return p;
+}
+
+void render_sample(const ClassPrototype& p, const SyntheticCifarConfig& cfg, Rng& rng,
+                   float* out) {
+  const int64_t s = cfg.image_size, ch = cfg.channels;
+  const float j = cfg.jitter;
+  const float orient = p.orientation + j * rng.normal(0.0f, 0.15f);
+  const float freq = p.frequency * (1.0f + j * rng.normal(0.0f, 0.10f));
+  const float bx = p.blob_x + j * rng.normal(0.0f, 0.06f);
+  const float by = p.blob_y + j * rng.normal(0.0f, 0.06f);
+  const float amp = 1.0f + j * rng.normal(0.0f, 0.20f);
+  const float cosn = std::cos(orient), sinn = std::sin(orient);
+  const float two_pi = 2.0f * std::numbers::pi_v<float>;
+  for (int64_t c = 0; c < ch; ++c) {
+    const float phase = p.phase[static_cast<size_t>(c)] + j * rng.normal(0.0f, 0.30f);
+    float* plane = out + c * s * s;
+    for (int64_t y = 0; y < s; ++y) {
+      const float fy = static_cast<float>(y) / static_cast<float>(s);
+      for (int64_t x = 0; x < s; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(s);
+        const float u = fx * cosn + fy * sinn;
+        const float grating = amp * std::sin(two_pi * freq * u + phase);
+        const float dx = fx - bx, dy = fy - by;
+        const float blob =
+            p.blob_amp * std::exp(-(dx * dx + dy * dy) / (2.0f * p.blob_sigma * p.blob_sigma));
+        plane[y * s + x] = 0.5f * grating + blob + p.color[static_cast<size_t>(c)] +
+                           cfg.noise_stddev * rng.normal();
+      }
+    }
+  }
+}
+
+Dataset make_split(const std::vector<ClassPrototype>& protos, const SyntheticCifarConfig& cfg,
+                   int64_t per_class, Rng& rng) {
+  const int64_t n = cfg.num_classes * per_class;
+  const int64_t s = cfg.image_size;
+  Tensor images({n, cfg.channels, s, s});
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  int64_t row = 0;
+  for (int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    for (int64_t k = 0; k < per_class; ++k, ++row) {
+      render_sample(protos[static_cast<size_t>(cls)], cfg, rng,
+                    images.data() + row * cfg.channels * s * s);
+      labels[static_cast<size_t>(row)] = cls;
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), cfg.num_classes);
+}
+
+}  // namespace
+
+SyntheticCifar make_synthetic_cifar(const SyntheticCifarConfig& cfg) {
+  if (cfg.num_classes <= 1 || cfg.train_per_class <= 0 || cfg.test_per_class <= 0 ||
+      cfg.channels <= 0 || cfg.image_size < 4) {
+    throw std::invalid_argument("SyntheticCifarConfig: implausible configuration");
+  }
+  std::vector<ClassPrototype> protos;
+  protos.reserve(static_cast<size_t>(cfg.num_classes));
+  for (int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    protos.push_back(make_prototype(cls, cfg.channels, cfg.seed));
+  }
+  Rng train_rng(cfg.seed * 0x9E37u + 1);
+  Rng test_rng(cfg.seed * 0x9E37u + 2);
+  SyntheticCifar out{make_split(protos, cfg, cfg.train_per_class, train_rng),
+                     make_split(protos, cfg, cfg.test_per_class, test_rng)};
+  return out;
+}
+
+SyntheticCifarConfig synth_cifar10_config() {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+SyntheticCifarConfig synth_cifar100_config() {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 100;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 8;
+  return cfg;
+}
+
+}  // namespace capr::data

@@ -1,0 +1,53 @@
+// Computational cost model: parameters, MACs and FLOPs per layer/model.
+//
+// Conventions match the paper's: one MAC = 2 FLOPs (ResNet-50 at 224x224
+// is ~4.1 GMAC = 8.2 GFLOPs, as quoted in the paper's introduction).
+// Conv cost counts the filter sliding over every output position; bias,
+// batchnorm, relu and pooling are counted as one FLOP per output element
+// (they are negligible next to the MACs but kept for completeness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace capr::flops {
+
+struct LayerCost {
+  std::string name;
+  std::string kind;
+  int64_t params = 0;
+  int64_t macs = 0;
+  int64_t flops = 0;  // 2*macs + elementwise terms
+};
+
+struct ModelCost {
+  std::vector<LayerCost> layers;
+  int64_t total_params = 0;
+  int64_t total_macs = 0;
+  int64_t total_flops = 0;
+};
+
+/// Walks the model graph with a shape probe and accumulates costs.
+ModelCost count(nn::Model& model);
+
+/// Pruning metrics between a dense baseline and a pruned model:
+/// ratio of removed parameters and of removed FLOPs, as in Table I.
+struct PruningReport {
+  int64_t params_before = 0;
+  int64_t params_after = 0;
+  int64_t flops_before = 0;
+  int64_t flops_after = 0;
+  double pruning_ratio() const {
+    return params_before ? 1.0 - static_cast<double>(params_after) / params_before : 0.0;
+  }
+  double flops_reduction() const {
+    return flops_before ? 1.0 - static_cast<double>(flops_after) / flops_before : 0.0;
+  }
+};
+
+PruningReport compare(const ModelCost& before, const ModelCost& after);
+
+}  // namespace capr::flops

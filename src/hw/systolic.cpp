@@ -1,0 +1,164 @@
+#include "hw/systolic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace capr::hw {
+namespace {
+
+using nn::BasicBlock;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Layer;
+using nn::Linear;
+using nn::Sequential;
+
+constexpr int64_t kBytesPerElement = 4;  // float32
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Cost of an elementwise / vector-unit layer over `elems` outputs.
+LayerSim vector_layer(const Layer& layer, int64_t elems, const SystolicConfig& cfg) {
+  LayerSim sim;
+  sim.name = layer.name();
+  sim.kind = layer.kind();
+  sim.cycles = ceil_div(elems, cfg.cols);
+  sim.sram_bytes = 2 * elems * kBytesPerElement;  // read + write
+  sim.energy_nj = static_cast<double>(sim.sram_bytes) * cfg.e_sram_byte_pj * 1e-3;
+  return sim;
+}
+
+Shape step(Layer& layer, const Shape& in, const SystolicConfig& cfg,
+           std::vector<LayerSim>& out);
+
+Shape step_block(BasicBlock& blk, const Shape& in, const SystolicConfig& cfg,
+                 std::vector<LayerSim>& out) {
+  Shape s = step(blk.conv1(), in, cfg, out);
+  s = step(blk.bn1(), s, cfg, out);
+  s = step(blk.relu1(), s, cfg, out);
+  s = step(blk.conv2(), s, cfg, out);
+  s = step(blk.bn2(), s, cfg, out);
+  if (blk.has_projection()) {
+    Shape p = step(*blk.proj_conv(), in, cfg, out);
+    step(*blk.proj_bn(), p, cfg, out);
+  }
+  out.push_back(vector_layer(blk.relu_out(), numel_of(s), cfg));
+  out.back().name = blk.name() + ".add+relu";
+  return s;
+}
+
+Shape step(Layer& layer, const Shape& in, const SystolicConfig& cfg,
+           std::vector<LayerSim>& out) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    Shape s = in;
+    for (size_t i = 0; i < seq->size(); ++i) s = step(seq->child(i), s, cfg, out);
+    return s;
+  }
+  if (auto* blk = dynamic_cast<BasicBlock*>(&layer)) return step_block(*blk, in, cfg, out);
+
+  const Shape os = layer.output_shape(in);
+  if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+    const int64_t m = conv->out_channels();
+    const int64_t k = conv->in_channels() * conv->kernel() * conv->kernel();
+    const int64_t n = os[1] * os[2];
+    LayerSim sim = simulate_gemm(layer.name(), m, k, n, cfg);
+    sim.kind = layer.kind();
+    out.push_back(sim);
+    return os;
+  }
+  if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+    LayerSim sim = simulate_gemm(layer.name(), lin->out_features(), lin->in_features(), 1, cfg);
+    sim.kind = layer.kind();
+    out.push_back(sim);
+    return os;
+  }
+  // Everything else maps onto the vector unit.
+  out.push_back(vector_layer(layer, numel_of(os), cfg));
+  return os;
+}
+
+}  // namespace
+
+void SystolicConfig::validate() const {
+  if (rows <= 0 || cols <= 0 || freq_ghz <= 0.0 || sram_bytes <= 0 || e_mac_pj < 0.0 ||
+      e_sram_byte_pj < 0.0 || e_dram_byte_pj < 0.0) {
+    throw std::invalid_argument("SystolicConfig: non-positive parameter");
+  }
+}
+
+LayerSim simulate_gemm(const std::string& name, int64_t m, int64_t k, int64_t n,
+                       const SystolicConfig& cfg) {
+  cfg.validate();
+  if (m <= 0 || k <= 0 || n <= 0) {
+    throw std::invalid_argument("simulate_gemm: non-positive GEMM extent");
+  }
+  LayerSim sim;
+  sim.name = name;
+  sim.kind = "gemm";
+  sim.macs = m * k * n;
+
+  const int64_t m_tiles = ceil_div(m, cfg.rows);
+  const int64_t k_tiles = ceil_div(k, cfg.cols);
+  const int64_t tiles = m_tiles * k_tiles;
+  sim.cycles = tiles * (n + cfg.rows + cfg.cols);
+  sim.utilization = static_cast<double>(sim.macs) /
+                    (static_cast<double>(sim.cycles) * cfg.rows * cfg.cols);
+
+  // Data movement. Weights: M*K; re-fetched from DRAM per pass when they
+  // exceed SRAM. Activations: K*N read, M*N written (once via SRAM).
+  const int64_t weight_bytes = m * k * kBytesPerElement;
+  const int64_t act_in_bytes = k * n * kBytesPerElement;
+  const int64_t act_out_bytes = m * n * kBytesPerElement;
+  const bool weights_resident = weight_bytes <= cfg.sram_bytes;
+  sim.dram_bytes = (weights_resident ? weight_bytes : weight_bytes /*per pass*/) +
+                   act_in_bytes + act_out_bytes;
+  if (!weights_resident) {
+    // One extra weight pass per K-tile group beyond the first fill.
+    sim.dram_bytes += weight_bytes * (k_tiles - 1) / std::max<int64_t>(k_tiles, 1);
+  }
+  // Every streamed operand moves through SRAM; activations are reread per
+  // M-tile (each tile row needs the full activation panel).
+  sim.sram_bytes = weight_bytes + act_in_bytes * m_tiles + act_out_bytes;
+
+  sim.energy_nj = (static_cast<double>(sim.macs) * cfg.e_mac_pj +
+                   static_cast<double>(sim.sram_bytes) * cfg.e_sram_byte_pj +
+                   static_cast<double>(sim.dram_bytes) * cfg.e_dram_byte_pj) *
+                  1e-3;
+  return sim;
+}
+
+double ModelSim::mean_utilization(const SystolicConfig& cfg) const {
+  int64_t gemm_cycles = 0;
+  double weighted = 0.0;
+  for (const LayerSim& l : layers) {
+    if (l.macs > 0) {
+      gemm_cycles += l.cycles;
+      weighted += l.utilization * static_cast<double>(l.cycles);
+    }
+  }
+  (void)cfg;
+  return gemm_cycles > 0 ? weighted / static_cast<double>(gemm_cycles) : 0.0;
+}
+
+ModelSim simulate(nn::Model& model, const SystolicConfig& cfg) {
+  cfg.validate();
+  ModelSim sim;
+  Shape s = model.input_shape;
+  for (size_t i = 0; i < model.net->size(); ++i) {
+    s = step(model.net->child(i), s, cfg, sim.layers);
+  }
+  for (const LayerSim& l : sim.layers) {
+    sim.total_cycles += l.cycles;
+    sim.total_macs += l.macs;
+    sim.total_dram_bytes += l.dram_bytes;
+    sim.total_energy_nj += l.energy_nj;
+  }
+  return sim;
+}
+
+}  // namespace capr::hw

@@ -1,0 +1,82 @@
+// Systolic-array hardware cost model.
+//
+// The paper motivates structured pruning with dense-hardware efficiency:
+// filter pruning shrinks the GEMMs that a systolic array (e.g. a TPU-like
+// weight-stationary design, the paper's ref [26]) actually schedules.
+// This module turns a model into estimated cycles / utilization / data
+// traffic / energy on such an array, so pruning results can be reported
+// in hardware terms rather than FLOPs alone (bench_hw).
+//
+// Mapping model (deliberately simple and documented, in the spirit of
+// first-order DATE-style cost models):
+//  - Conv layers lower to GEMM via im2col: M = Cout, K = Cin*k*k,
+//    N = OH*OW. Linear layers are GEMMs with N = 1.
+//  - Weight-stationary dataflow: the MxK weight matrix is tiled into
+//    (rows x cols) PE tiles; each tile streams its N activations through
+//    the array. A tile costs (N + rows + cols) cycles: N beats of
+//    streaming plus pipeline fill/drain.
+//  - Weights are fetched from DRAM once if the layer's weights fit in
+//    SRAM, otherwise once per stream pass; activations are read and
+//    written once per layer (perfect reuse inside a tile row).
+//  - Elementwise/normalization/pooling layers run on a vector unit of
+//    `cols` lanes, one element per lane-cycle.
+// Energy = MACs * e_mac + SRAM traffic * e_sram + DRAM traffic * e_dram.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace capr::hw {
+
+struct SystolicConfig {
+  int64_t rows = 16;  // PE array height (M tiling)
+  int64_t cols = 16;  // PE array width  (K tiling) and vector lanes
+  double freq_ghz = 1.0;
+  int64_t sram_bytes = 256 * 1024;
+  // First-order energy per operation (picojoules).
+  double e_mac_pj = 0.5;
+  double e_sram_byte_pj = 1.0;
+  double e_dram_byte_pj = 100.0;
+
+  /// Throws std::invalid_argument on non-positive parameters.
+  void validate() const;
+};
+
+struct LayerSim {
+  std::string name;
+  std::string kind;
+  int64_t macs = 0;
+  int64_t cycles = 0;
+  double utilization = 0.0;  // macs / (cycles * rows * cols), GEMM layers
+  int64_t sram_bytes = 0;
+  int64_t dram_bytes = 0;
+  double energy_nj = 0.0;
+};
+
+struct ModelSim {
+  std::vector<LayerSim> layers;
+  int64_t total_cycles = 0;
+  int64_t total_macs = 0;
+  int64_t total_dram_bytes = 0;
+  double total_energy_nj = 0.0;
+
+  /// End-to-end latency for one input at the configured clock.
+  double latency_us(const SystolicConfig& cfg) const {
+    return static_cast<double>(total_cycles) / (cfg.freq_ghz * 1e3);
+  }
+  /// Average PE utilization across GEMM cycles.
+  double mean_utilization(const SystolicConfig& cfg) const;
+};
+
+/// Simulates one GEMM of shape [M, K] x [K, N] on the array; exposed for
+/// tests and for users mapping custom ops.
+LayerSim simulate_gemm(const std::string& name, int64_t m, int64_t k, int64_t n,
+                       const SystolicConfig& cfg);
+
+/// Walks the model (batch-1 inference) and accumulates per-layer costs.
+ModelSim simulate(nn::Model& model, const SystolicConfig& cfg);
+
+}  // namespace capr::hw

@@ -1,0 +1,263 @@
+#include "models/builders.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/pooling.h"
+
+namespace capr::models {
+
+using nn::BasicBlock;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::ConsumerRef;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::Model;
+using nn::PrunableUnit;
+using nn::ReLU;
+using nn::Sequential;
+
+int64_t scale_channels(int64_t base, float mult) {
+  const int64_t scaled = static_cast<int64_t>(std::lround(static_cast<double>(base) * mult));
+  return scaled < 4 ? 4 : scaled;
+}
+
+namespace {
+
+/// Builds a CIFAR-style VGG: conv-bn-relu stacks from `plan` (-1 = pool),
+/// then global average pool and a single classifier FC.
+Model make_vgg(const std::string& arch, const std::vector<int64_t>& plan,
+               const BuildConfig& cfg) {
+  Model m;
+  m.arch = arch;
+  m.input_shape = {cfg.input_channels, cfg.input_size, cfg.input_size};
+  m.num_classes = cfg.num_classes;
+  m.net = std::make_unique<Sequential>();
+
+  struct Stage {
+    Conv2d* conv;
+    BatchNorm2d* bn;
+    ReLU* relu;
+  };
+  std::vector<Stage> stages;
+
+  int64_t in_ch = cfg.input_channels;
+  int64_t spatial = cfg.input_size;
+  int conv_idx = 0;
+  for (int64_t entry : plan) {
+    if (entry == -1) {
+      // Skip pools that would shrink below 2x2: keeps the topology legal
+      // at reduced input resolutions.
+      if (spatial >= 4) {
+        m.net->add(std::make_unique<MaxPool2d>(2));
+        spatial /= 2;
+      }
+      continue;
+    }
+    const int64_t out_ch = scale_channels(entry, cfg.width_mult);
+    auto* conv = m.net->add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1, 1, false));
+    conv->set_name("conv" + std::to_string(conv_idx));
+    auto* bn = m.net->add(std::make_unique<BatchNorm2d>(out_ch));
+    bn->set_name("bn" + std::to_string(conv_idx));
+    auto* relu = m.net->add(std::make_unique<ReLU>());
+    relu->set_name("relu" + std::to_string(conv_idx));
+    stages.push_back({conv, bn, relu});
+    in_ch = out_ch;
+    ++conv_idx;
+  }
+  m.net->add(std::make_unique<GlobalAvgPool>())->set_name("gap");
+  auto* fc = m.net->add(std::make_unique<Linear>(in_ch, cfg.num_classes));
+  fc->set_name("fc");
+
+  for (size_t i = 0; i < stages.size(); ++i) {
+    PrunableUnit u;
+    u.name = stages[i].conv->name();
+    u.conv = stages[i].conv;
+    u.bn = stages[i].bn;
+    u.score_point = stages[i].relu;
+    ConsumerRef c;
+    if (i + 1 < stages.size()) {
+      c.conv = stages[i + 1].conv;
+    } else {
+      c.linear = fc;
+      c.spatial = 1;  // global average pooling collapses H*W
+    }
+    u.consumers.push_back(c);
+    m.units.push_back(u);
+  }
+
+  Rng rng(cfg.init_seed);
+  nn::init_all(*m.net, rng);
+  return m;
+}
+
+/// Builds a CIFAR ResNet with `n` basic blocks per stage (depth 6n+2).
+Model make_resnet(const std::string& arch, int64_t n, const BuildConfig& cfg) {
+  Model m;
+  m.arch = arch;
+  m.input_shape = {cfg.input_channels, cfg.input_size, cfg.input_size};
+  m.num_classes = cfg.num_classes;
+  m.net = std::make_unique<Sequential>();
+
+  const int64_t w16 = scale_channels(16, cfg.width_mult);
+  const int64_t w32 = scale_channels(32, cfg.width_mult);
+  const int64_t w64 = scale_channels(64, cfg.width_mult);
+
+  auto* stem_conv = m.net->add(std::make_unique<Conv2d>(cfg.input_channels, w16, 3, 1, 1, false));
+  stem_conv->set_name("stem.conv");
+  m.net->add(std::make_unique<BatchNorm2d>(w16))->set_name("stem.bn");
+  m.net->add(std::make_unique<ReLU>())->set_name("stem.relu");
+
+  int64_t in_ch = w16;
+  const int64_t stage_channels[3] = {w16, w32, w64};
+  int block_idx = 0;
+  std::vector<BasicBlock*> blocks;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int64_t b = 0; b < n; ++b, ++block_idx) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      auto* blk =
+          m.net->add(std::make_unique<BasicBlock>(in_ch, stage_channels[stage], stride));
+      const std::string base = "s" + std::to_string(stage) + ".b" + std::to_string(b);
+      blk->set_name(base);
+      blk->conv1().set_name(base + ".conv1");
+      blk->bn1().set_name(base + ".bn1");
+      blk->relu1().set_name(base + ".relu1");
+      blk->conv2().set_name(base + ".conv2");
+      blk->bn2().set_name(base + ".bn2");
+      blk->relu_out().set_name(base + ".relu_out");
+      if (blk->has_projection()) {
+        blk->proj_conv()->set_name(base + ".proj.conv");
+        blk->proj_bn()->set_name(base + ".proj.bn");
+      }
+      blocks.push_back(blk);
+      in_ch = stage_channels[stage];
+    }
+  }
+  m.net->add(std::make_unique<GlobalAvgPool>())->set_name("gap");
+  auto* fc = m.net->add(std::make_unique<Linear>(in_ch, cfg.num_classes));
+  fc->set_name("fc");
+
+  // Paper constraint: only the first conv of each residual block is
+  // prunable; its sole consumer is the block's second conv.
+  for (BasicBlock* blk : blocks) {
+    PrunableUnit u;
+    u.name = blk->conv1().name();
+    u.conv = &blk->conv1();
+    u.bn = &blk->bn1();
+    u.score_point = &blk->relu1();
+    ConsumerRef c;
+    c.conv = &blk->conv2();
+    u.consumers.push_back(c);
+    m.units.push_back(u);
+  }
+
+  Rng rng(cfg.init_seed);
+  nn::init_all(*m.net, rng);
+  return m;
+}
+
+}  // namespace
+
+Model make_vgg11(const BuildConfig& cfg) {
+  // 8 convs + pools.
+  return make_vgg("vgg11", {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}, cfg);
+}
+
+Model make_vgg13(const BuildConfig& cfg) {
+  // 10 convs + pools.
+  return make_vgg("vgg13",
+                  {64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}, cfg);
+}
+
+Model make_vgg16(const BuildConfig& cfg) {
+  // 13 convs + pools: the standard VGG16 feature plan.
+  return make_vgg("vgg16",
+                  {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512,
+                   512, -1},
+                  cfg);
+}
+
+Model make_vgg19(const BuildConfig& cfg) {
+  // 16 convs + pools.
+  return make_vgg("vgg19",
+                  {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512, -1,
+                   512, 512, 512, 512, -1},
+                  cfg);
+}
+
+Model make_resnet20(const BuildConfig& cfg) { return make_resnet("resnet20", 3, cfg); }
+
+Model make_resnet32(const BuildConfig& cfg) { return make_resnet("resnet32", 5, cfg); }
+
+Model make_resnet44(const BuildConfig& cfg) { return make_resnet("resnet44", 7, cfg); }
+
+Model make_resnet56(const BuildConfig& cfg) { return make_resnet("resnet56", 9, cfg); }
+
+Model make_tiny_cnn(const BuildConfig& cfg) {
+  Model m;
+  m.arch = "tiny";
+  m.input_shape = {cfg.input_channels, cfg.input_size, cfg.input_size};
+  m.num_classes = cfg.num_classes;
+  m.net = std::make_unique<Sequential>();
+  const int64_t c1 = scale_channels(16, cfg.width_mult * 2);
+  const int64_t c2 = scale_channels(32, cfg.width_mult * 2);
+  auto* conv0 = m.net->add(std::make_unique<Conv2d>(cfg.input_channels, c1, 3, 1, 1, false));
+  conv0->set_name("conv0");
+  auto* bn0 = m.net->add(std::make_unique<BatchNorm2d>(c1));
+  bn0->set_name("bn0");
+  auto* relu0 = m.net->add(std::make_unique<ReLU>());
+  relu0->set_name("relu0");
+  m.net->add(std::make_unique<MaxPool2d>(2))->set_name("pool0");
+  auto* conv1 = m.net->add(std::make_unique<Conv2d>(c1, c2, 3, 1, 1, false));
+  conv1->set_name("conv1");
+  auto* bn1 = m.net->add(std::make_unique<BatchNorm2d>(c2));
+  bn1->set_name("bn1");
+  auto* relu1 = m.net->add(std::make_unique<ReLU>());
+  relu1->set_name("relu1");
+  m.net->add(std::make_unique<GlobalAvgPool>())->set_name("gap");
+  auto* fc = m.net->add(std::make_unique<Linear>(c2, cfg.num_classes));
+  fc->set_name("fc");
+
+  PrunableUnit u0;
+  u0.name = "conv0";
+  u0.conv = conv0;
+  u0.bn = bn0;
+  u0.score_point = relu0;
+  u0.consumers.push_back(ConsumerRef{conv1, nullptr, 1});
+  m.units.push_back(u0);
+  PrunableUnit u1;
+  u1.name = "conv1";
+  u1.conv = conv1;
+  u1.bn = bn1;
+  u1.score_point = relu1;
+  u1.consumers.push_back(ConsumerRef{nullptr, fc, 1});
+  m.units.push_back(u1);
+
+  Rng rng(cfg.init_seed);
+  nn::init_all(*m.net, rng);
+  return m;
+}
+
+Model make_model(const std::string& arch, const BuildConfig& cfg) {
+  if (arch == "vgg11") return make_vgg11(cfg);
+  if (arch == "vgg13") return make_vgg13(cfg);
+  if (arch == "vgg16") return make_vgg16(cfg);
+  if (arch == "vgg19") return make_vgg19(cfg);
+  if (arch == "resnet20") return make_resnet20(cfg);
+  if (arch == "resnet32") return make_resnet32(cfg);
+  if (arch == "resnet44") return make_resnet44(cfg);
+  if (arch == "resnet56") return make_resnet56(cfg);
+  if (arch == "tiny") return make_tiny_cnn(cfg);
+  throw std::invalid_argument("unknown architecture '" + arch + "'");
+}
+
+std::vector<std::string> available_archs() {
+  return {"vgg11", "vgg13", "vgg16", "vgg19", "resnet20", "resnet32", "resnet44",
+          "resnet56", "tiny"};
+}
+
+}  // namespace capr::models

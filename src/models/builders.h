@@ -1,0 +1,60 @@
+// Network builders used by the paper's experiments.
+//
+// All builders are width- and resolution-parametric: `width_mult` scales
+// every channel count (floor 4) so the full architectures stay runnable
+// on the 1-core reproduction host while keeping the exact layer topology
+// (and hence the pruning-coupling structure) of the originals.
+//
+// Builders also attach the pruning metadata: every structurally prunable
+// conv is registered as a PrunableUnit with its BatchNorm, its score
+// point (the ReLU carrying the filter's activations), and its channel
+// consumers. For the ResNets this encodes the paper's constraint that
+// only the first conv of each residual block is pruned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model.h"
+#include "tensor/rng.h"
+
+namespace capr::models {
+
+struct BuildConfig {
+  int64_t num_classes = 10;
+  int64_t input_channels = 3;
+  int64_t input_size = 16;   // paper: 32 (CIFAR); reduced default for CPU
+  float width_mult = 0.25f;  // paper: 1.0
+  uint64_t init_seed = 1234;
+};
+
+/// VGG11/13/16/19 with batch norm, CIFAR-style (global average pool +
+/// one FC). VGG16/19 are the paper's models; 11/13 complete the family.
+nn::Model make_vgg11(const BuildConfig& cfg);
+nn::Model make_vgg13(const BuildConfig& cfg);
+nn::Model make_vgg16(const BuildConfig& cfg);
+nn::Model make_vgg19(const BuildConfig& cfg);
+
+/// CIFAR ResNets with n basic blocks per stage (depth 6n+2). ResNet-56
+/// is the paper's model; the others complete the family. Only first
+/// convs of blocks are prunable (shortcut constraint).
+nn::Model make_resnet20(const BuildConfig& cfg);
+nn::Model make_resnet32(const BuildConfig& cfg);
+nn::Model make_resnet44(const BuildConfig& cfg);
+nn::Model make_resnet56(const BuildConfig& cfg);
+
+/// Two-conv toy network used by unit tests and the quickstart example.
+nn::Model make_tiny_cnn(const BuildConfig& cfg);
+
+/// Builds by name: "vgg11", "vgg13", "vgg16", "vgg19", "resnet20",
+/// "resnet32", "resnet44", "resnet56", "tiny".
+/// Throws std::invalid_argument for unknown names.
+nn::Model make_model(const std::string& arch, const BuildConfig& cfg);
+
+/// Names accepted by make_model.
+std::vector<std::string> available_archs();
+
+/// Channel count after width scaling: max(4, round(base * mult)).
+int64_t scale_channels(int64_t base, float mult);
+
+}  // namespace capr::models

@@ -1,0 +1,31 @@
+#include "nn/activations.h"
+
+#include <stdexcept>
+
+namespace capr::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  (void)training;  // backward must work after either mode (scoring passes)
+  apply_output_instrumentation(out);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_output_.empty()) {
+    throw std::logic_error("ReLU " + name_ + ": backward without cached forward");
+  }
+  if (grad_output.shape() != cached_output_.shape()) {
+    throw std::invalid_argument("ReLU " + name_ + ": grad shape mismatch");
+  }
+  Tensor grad_in(grad_output.shape());
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[i] = cached_output_[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,25 @@
+// Activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace capr::nn {
+
+/// Rectified linear unit. This is the canonical "score point" of the
+/// class-aware pruner: channel c of a ReLU following a conv carries the
+/// activation outputs of filter c, and the Instrument capture gives the
+/// (a, dL/da) pairs needed by Taylor scoring (paper Eq. 4).
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "relu"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+ private:
+  Tensor cached_output_;  // ReLU grad only needs the output's sign pattern
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,180 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv2d.h"  // normalize_indices / surviving_indices
+
+namespace capr::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("gamma", {channels}),
+      beta_("beta", {channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels must be positive");
+  gamma_.value.fill(1.0f);
+}
+
+Shape BatchNorm2d::output_shape(const Shape& in) const {
+  if (in.size() != 3 || in[0] != channels_) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": input " + to_string(in) +
+                                " incompatible with " + std::to_string(channels_) + " channels");
+  }
+  return in;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": bad input " +
+                                to_string(input.shape()));
+  }
+  const int64_t n = input.dim(0), c = channels_, h = input.dim(2), w = input.dim(3);
+  const int64_t plane = h * w;
+  const int64_t count = n * plane;
+  Tensor out({n, c, h, w});
+
+  if (training) {
+    xhat_ = Tensor({n, c, h, w});
+    inv_std_ = Tensor({c});
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double msum = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) msum += p[k];
+      }
+      const float mean = static_cast<float>(msum / count);
+      double vsum = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) {
+          const double d = p[k] - mean;
+          vsum += d * d;
+        }
+      }
+      const float var = static_cast<float>(vsum / count);
+      const float inv = 1.0f / std::sqrt(var + eps_);
+      inv_std_[ch] = inv;
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] + momentum_ * mean;
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] + momentum_ * var;
+      const float g = gamma_.value[ch], b = beta_.value[ch];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * plane;
+        float* xh = xhat_.data() + (i * c + ch) * plane;
+        float* o = out.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) {
+          xh[k] = (p[k] - mean) * inv;
+          o[k] = g * xh[k] + b;
+        }
+      }
+    }
+  } else {
+    xhat_ = Tensor({n, c, h, w});
+    inv_std_ = Tensor({c});
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
+      const float mean = running_mean_[ch];
+      const float g = gamma_.value[ch], b = beta_.value[ch];
+      inv_std_[ch] = inv;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * plane;
+        float* xh = xhat_.data() + (i * c + ch) * plane;
+        float* o = out.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) {
+          xh[k] = (p[k] - mean) * inv;
+          o[k] = g * xh[k] + b;
+        }
+      }
+    }
+  }
+  cached_training_ = training;
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (xhat_.empty()) {
+    throw std::logic_error("BatchNorm2d " + name_ + ": backward without forward");
+  }
+  const int64_t n = cached_n_, c = channels_, h = cached_h_, w = cached_w_;
+  const int64_t plane = h * w;
+  const int64_t count = n * plane;
+  if (grad_output.shape() != Shape{n, c, h, w}) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": grad shape mismatch");
+  }
+  Tensor grad_in({n, c, h, w});
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double dg = 0.0, db = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* go = grad_output.data() + (i * c + ch) * plane;
+      const float* xh = xhat_.data() + (i * c + ch) * plane;
+      for (int64_t k = 0; k < plane; ++k) {
+        dg += static_cast<double>(go[k]) * xh[k];
+        db += go[k];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(dg);
+    beta_.grad[ch] += static_cast<float>(db);
+    const float g = gamma_.value[ch];
+    const float inv = inv_std_[ch];
+    if (cached_training_) {
+      // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+      const float scale = g * inv / static_cast<float>(count);
+      const float sum_dy = static_cast<float>(db);
+      const float sum_dy_xhat = static_cast<float>(dg);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* go = grad_output.data() + (i * c + ch) * plane;
+        const float* xh = xhat_.data() + (i * c + ch) * plane;
+        float* gi = grad_in.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) {
+          gi[k] = scale * (static_cast<float>(count) * go[k] - sum_dy - xh[k] * sum_dy_xhat);
+        }
+      }
+    } else {
+      // Eval mode treats the running statistics as constants.
+      const float scale = g * inv;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* go = grad_output.data() + (i * c + ch) * plane;
+        float* gi = grad_in.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) gi[k] = scale * go[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+void BatchNorm2d::remove_channels(const std::vector<int64_t>& channels) {
+  const auto removed = normalize_indices(channels, channels_, "BatchNorm2d::remove_channels");
+  if (removed.empty()) return;
+  if (static_cast<int64_t>(removed.size()) >= channels_) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": cannot remove all channels");
+  }
+  const auto keep = surviving_indices(removed, channels_);
+  const auto take = [&keep](const Tensor& src) {
+    Tensor dst({static_cast<int64_t>(keep.size())});
+    for (size_t k = 0; k < keep.size(); ++k) dst[static_cast<int64_t>(k)] = src[keep[k]];
+    return dst;
+  };
+  Tensor ng = take(gamma_.value);
+  Tensor nb = take(beta_.value);
+  running_mean_ = take(running_mean_);
+  running_var_ = take(running_var_);
+  gamma_.assign(std::move(ng));
+  beta_.assign(std::move(nb));
+  channels_ = static_cast<int64_t>(keep.size());
+  instrument_.reset_interventions();
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,49 @@
+// Batch normalization over the channel dimension of NCHW tensors.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace capr::nn {
+
+/// Standard BatchNorm2d: per-channel statistics over (N, H, W) during
+/// training, running statistics at eval time. gamma/beta trainable.
+///
+/// The per-channel gamma doubles as the "scaling factor" that the SSS
+/// baseline sparsifies and ranks (see src/baselines/sss.h).
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "batchnorm2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+  int64_t channels() const { return channels_; }
+  Param& gamma() { return gamma_; }
+  const Param& gamma() const { return gamma_; }
+  Param& beta() { return beta_; }
+  const Param& beta() const { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  /// Removes the given channels (surgery companion to Conv2d filter removal).
+  void remove_channels(const std::vector<int64_t>& channels);
+
+ private:
+  int64_t channels_;
+  float eps_, momentum_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // backward cache. Backward works after either forward mode: a
+  // training-mode forward uses the full batch-statistics gradient; an
+  // eval-mode forward treats mean/var as constants (the form importance
+  // scoring needs when differentiating the frozen, trained network).
+  Tensor xhat_;
+  Tensor inv_std_;  // [C]
+  int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+  bool cached_training_ = false;
+};
+
+}  // namespace capr::nn

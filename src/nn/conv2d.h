@@ -1,0 +1,65 @@
+// 2-D convolution layer (im2col + GEMM lowering).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace capr::nn {
+
+/// Convolution over NCHW inputs with square kernels, stride and padding.
+///
+/// Weight layout: [out_channels, in_channels, kernel, kernel];
+/// bias: [out_channels] (optional; conventionally off when a BatchNorm
+/// follows). Supports structural surgery used by pruning: removal of
+/// whole output filters and of input channels.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+         int64_t padding, bool bias);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "conv2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t padding() const { return padding_; }
+  bool has_bias() const { return has_bias_; }
+
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+
+  /// Weight viewed as the [out_channels, in_channels*k*k] filter matrix.
+  Tensor filter_matrix() const;
+
+  /// Removes the given output filters (sorted unique indices expected;
+  /// validated). Shrinks weight (and bias) along dim 0.
+  void remove_out_channels(const std::vector<int64_t>& filters);
+
+  /// Removes the given input channels; shrinks weight along dim 1.
+  void remove_in_channels(const std::vector<int64_t>& channels);
+
+ private:
+  ConvGeom geom_for(int64_t h, int64_t w) const;
+
+  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;  // [N, Cin, H, W] kept for backward
+};
+
+/// Validates and normalises a channel-index list against `extent`:
+/// sorts, de-duplicates, and throws on out-of-range entries.
+std::vector<int64_t> normalize_indices(std::vector<int64_t> idx, int64_t extent,
+                                       const char* what);
+
+/// Complement of `removed` in [0, extent): the indices that survive.
+std::vector<int64_t> surviving_indices(const std::vector<int64_t>& removed, int64_t extent);
+
+}  // namespace capr::nn

@@ -1,0 +1,162 @@
+#include "nn/depgraph.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace capr::nn {
+namespace {
+
+/// Walk state: the conv whose output channels are currently "open"
+/// (produced but not yet consumed), plus layout bookkeeping.
+struct WalkState {
+  PrunableUnit pending;            // valid iff pending.conv != nullptr
+  bool pending_constrained = false;  // channels feed a residual add
+  Shape shape;                     // current activation shape (no batch)
+  int64_t spatial_per_channel = 1;  // features per channel if flattened
+  bool collapsed = false;          // a Flatten/GAP has run since the conv
+  std::vector<PrunableUnit> units;
+
+  void finalize_with_consumer(ConsumerRef consumer) {
+    if (pending.conv == nullptr) return;
+    if (!pending_constrained) {
+      pending.consumers.push_back(consumer);
+      units.push_back(pending);
+    }
+    pending = PrunableUnit{};
+    pending_constrained = false;
+  }
+
+  void drop_pending() {
+    pending = PrunableUnit{};
+    pending_constrained = false;
+  }
+};
+
+void walk(Sequential& seq, WalkState& st);
+
+void walk_layer(Layer& layer, WalkState& st) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    walk(*seq, st);
+    return;
+  }
+  if (auto* blk = dynamic_cast<BasicBlock*>(&layer)) {
+    // Incumbent producer feeds conv1 and (via the shortcut) the residual
+    // add. With an identity shortcut its channel count is pinned by the
+    // add -> constrained. With a projection shortcut its channels only
+    // enter conv1 and proj_conv as inputs -> a legal two-consumer unit.
+    if (st.pending.conv != nullptr) {
+      if (blk->has_projection()) {
+        if (!st.pending_constrained) {
+          st.pending.consumers.push_back(ConsumerRef{&blk->conv1(), nullptr, 1});
+          st.pending.consumers.push_back(ConsumerRef{blk->proj_conv(), nullptr, 1});
+          st.units.push_back(st.pending);
+        }
+        st.pending = PrunableUnit{};
+        st.pending_constrained = false;
+      } else {
+        st.drop_pending();
+      }
+    }
+    // Inside the block: conv1 is freely prunable into conv2 (the paper's
+    // ResNet rule); conv2/proj feed the add and are constrained.
+    PrunableUnit u;
+    u.name = blk->conv1().name().empty() ? blk->name() + ".conv1" : blk->conv1().name();
+    u.conv = &blk->conv1();
+    u.bn = &blk->bn1();
+    u.score_point = &blk->relu1();
+    u.consumers.push_back(ConsumerRef{&blk->conv2(), nullptr, 1});
+    st.units.push_back(u);
+    st.shape = blk->output_shape(st.shape);
+    st.collapsed = false;
+    st.spatial_per_channel = 1;
+    return;
+  }
+  if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+    st.finalize_with_consumer(ConsumerRef{conv, nullptr, 1});
+    st.pending = PrunableUnit{};
+    st.pending.name = conv->name();
+    st.pending.conv = conv;
+    st.shape = conv->output_shape(st.shape);
+    st.collapsed = false;
+    st.spatial_per_channel = 1;
+    return;
+  }
+  if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+    if (st.pending.conv != nullptr && st.pending.bn == nullptr &&
+        bn->channels() == st.pending.conv->out_channels()) {
+      st.pending.bn = bn;
+    }
+    return;
+  }
+  if (auto* relu = dynamic_cast<ReLU*>(&layer)) {
+    if (st.pending.conv != nullptr && st.pending.score_point == nullptr) {
+      st.pending.score_point = relu;
+    }
+    return;
+  }
+  if (dynamic_cast<LeakyReLU*>(&layer) != nullptr ||
+      dynamic_cast<Dropout*>(&layer) != nullptr) {
+    return;  // channel- and layout-preserving
+  }
+  if (dynamic_cast<MaxPool2d*>(&layer) != nullptr ||
+      dynamic_cast<AvgPool2d*>(&layer) != nullptr) {
+    st.shape = layer.output_shape(st.shape);
+    return;
+  }
+  if (dynamic_cast<GlobalAvgPool*>(&layer) != nullptr) {
+    st.shape = layer.output_shape(st.shape);
+    st.collapsed = true;
+    st.spatial_per_channel = 1;
+    return;
+  }
+  if (dynamic_cast<Flatten*>(&layer) != nullptr) {
+    if (st.shape.size() == 3) st.spatial_per_channel = st.shape[1] * st.shape[2];
+    st.shape = layer.output_shape(st.shape);
+    st.collapsed = true;
+    return;
+  }
+  if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+    if (st.pending.conv != nullptr) {
+      if (!st.collapsed && st.shape.size() == 3) {
+        // Linear applied to unflattened input would be a shape error at
+        // runtime; the analysis refuses rather than guessing.
+        throw std::logic_error("derive_units: Linear after spatial output without Flatten");
+      }
+      st.finalize_with_consumer(ConsumerRef{nullptr, lin, st.spatial_per_channel});
+    }
+    st.shape = {lin->out_features()};
+    st.collapsed = false;
+    st.spatial_per_channel = 1;
+    return;
+  }
+  throw std::logic_error("derive_units: unsupported layer kind '" + layer.kind() + "'");
+}
+
+void walk(Sequential& seq, WalkState& st) {
+  for (size_t i = 0; i < seq.size(); ++i) walk_layer(seq.child(i), st);
+}
+
+}  // namespace
+
+std::vector<PrunableUnit> derive_units(Sequential& net, const Shape& input_shape) {
+  WalkState st;
+  st.shape = input_shape;
+  walk(net, st);
+  // A producer never consumed (e.g. a trailing conv) cannot be pruned
+  // safely; it is silently excluded, matching the builders.
+  for (const PrunableUnit& u : st.units) {
+    if (u.conv == nullptr || u.consumers.empty()) {
+      throw std::logic_error("derive_units: internal invariant violated");
+    }
+  }
+  return st.units;
+}
+
+void annotate_model(Model& model) {
+  model.units = derive_units(*model.net, model.input_shape);
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,44 @@
+// Automatic channel-dependency analysis.
+//
+// The model builders in src/models hand-annotate which convs are
+// prunable and where their output channels flow. This module derives the
+// same information from the layer graph itself — the core mechanism of
+// DepGraph [13]: walk the graph, track which layer currently "owns" the
+// channel dimension, and record couplings:
+//
+//   - Conv2d produces a fresh channel dimension (it is a candidate
+//     producer); its input channels couple to the incumbent producer.
+//   - BatchNorm2d, ReLU and pooling are channel-preserving: they attach
+//     to the incumbent producer (BN as coupled parameters, the first
+//     ReLU as the score point).
+//   - Flatten/GlobalAvgPool change layout; a following Linear consumes
+//     the incumbent producer's channels (with the flattened spatial
+//     factor).
+//   - BasicBlock residual adds constrain the block output channels to
+//     the shortcut: the block's second conv (and projection) are NOT
+//     independently prunable, exactly the constraint the paper applies.
+//
+// `derive_units` returns PrunableUnits equivalent to what the builders
+// annotate; tests assert the equivalence on every architecture. It also
+// lets users bring their own Sequential models without hand annotation.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace capr::nn {
+
+/// Derives prunable units from a model's layer graph.
+///
+/// `input_shape` is the [C, H, W] the model consumes (needed to track the
+/// spatial factor entering a Linear after Flatten). Producers whose
+/// channels are structurally constrained (feed a residual add) are
+/// excluded. Throws std::logic_error on graphs the analysis cannot prove
+/// safe (unknown layer kinds).
+std::vector<PrunableUnit> derive_units(Sequential& net, const Shape& input_shape);
+
+/// Replaces model.units with the derived ones (convenience).
+void annotate_model(Model& model);
+
+}  // namespace capr::nn

@@ -1,0 +1,144 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace capr::nn {
+
+Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_was_training_ = training;
+  if (!training || p_ == 0.0f) {
+    Tensor out = input;
+    apply_output_instrumentation(out);
+    return out;
+  }
+  const float keep_scale = 1.0f / (1.0f - p_);
+  mask_.assign(static_cast<size_t>(input.numel()), 0.0f);
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      mask_[static_cast<size_t>(i)] = keep_scale;
+      out[i] = input[i] * keep_scale;
+    }
+  }
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (!last_was_training_ || p_ == 0.0f) return grad_output;
+  if (static_cast<int64_t>(mask_.size()) != grad_output.numel()) {
+    throw std::logic_error("Dropout: backward without matching forward");
+  }
+  Tensor grad_in(grad_output.shape());
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[i] = grad_output[i] * mask_[static_cast<size_t>(i)];
+  }
+  return grad_in;
+}
+
+LeakyReLU::LeakyReLU(float slope) : slope_(slope) {
+  if (slope < 0.0f || slope >= 1.0f) {
+    throw std::invalid_argument("LeakyReLU: slope must be in [0, 1)");
+  }
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool training) {
+  (void)training;
+  cached_input_ = input;
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  }
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_input_.empty()) throw std::logic_error("LeakyReLU: backward without forward");
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("LeakyReLU: grad shape mismatch");
+  }
+  Tensor grad_in(grad_output.shape());
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[i] = cached_input_[i] > 0.0f ? grad_output[i] : slope_ * grad_output[i];
+  }
+  return grad_in;
+}
+
+AvgPool2d::AvgPool2d(int64_t window, int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  if (window_ <= 0 || stride_ <= 0) throw std::invalid_argument("AvgPool2d: bad window/stride");
+}
+
+Shape AvgPool2d::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("AvgPool2d: expected CHW input shape");
+  const int64_t oh = (in[1] - window_) / stride_ + 1;
+  const int64_t ow = (in[2] - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("AvgPool2d: window does not fit input " + to_string(in));
+  }
+  return {in[0], oh, ow};
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool training) {
+  (void)training;
+  if (input.rank() != 4) throw std::invalid_argument("AvgPool2d: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const Shape out_chw = output_shape({c, h, w});
+  const int64_t oh = out_chw[1], ow = out_chw[2];
+  cached_in_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oidx) {
+          double acc = 0.0;
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            const float* row = plane + (y * stride_ + dy) * w + x * stride_;
+            for (int64_t dx = 0; dx < window_; ++dx) acc += row[dx];
+          }
+          out[oidx] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_in_shape_.empty()) throw std::logic_error("AvgPool2d: backward without forward");
+  const int64_t n = cached_in_shape_[0], c = cached_in_shape_[1];
+  const int64_t h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_in.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oidx) {
+          const float g = grad_output[oidx] * inv;
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            float* row = plane + (y * stride_ + dy) * w + x * stride_;
+            for (int64_t dx = 0; dx < window_; ++dx) row[dx] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace capr::nn

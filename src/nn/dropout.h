@@ -1,0 +1,64 @@
+// Dropout and additional activation layers.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace capr::nn {
+
+/// Inverted dropout: at train time zeroes each element with probability
+/// p and scales survivors by 1/(1-p); identity at eval time. The mask is
+/// drawn from a per-layer RNG stream seeded at construction, keeping
+/// whole-training determinism.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float p, uint64_t seed = 0xD20u);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "dropout"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+  float probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  std::vector<float> mask_;  // scale per element from the last forward
+  bool last_was_training_ = false;
+};
+
+/// LeakyReLU: x if x > 0 else slope * x.
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "leakyrelu"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Average pooling with square window and stride (windowed counterpart of
+/// GlobalAvgPool; used by pooling-ablation experiments).
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(int64_t window, int64_t stride = 0);  // stride 0 => window
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "avgpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  int64_t window_, stride_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace capr::nn

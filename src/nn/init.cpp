@@ -1,0 +1,35 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace capr::nn {
+
+void kaiming_init(Conv2d& conv, Rng& rng) {
+  const float fan_in =
+      static_cast<float>(conv.in_channels() * conv.kernel() * conv.kernel());
+  const float stddev = std::sqrt(2.0f / fan_in);
+  rng.fill_normal(conv.weight().value, 0.0f, stddev);
+  if (conv.has_bias()) conv.bias().value.fill(0.0f);
+}
+
+void kaiming_init(Linear& linear, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(linear.in_features()));
+  rng.fill_normal(linear.weight().value, 0.0f, stddev);
+  linear.bias().value.fill(0.0f);
+}
+
+void init_all(Sequential& root, Rng& rng) {
+  root.visit([&rng](Layer& l) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&l)) {
+      kaiming_init(*conv, rng);
+    } else if (auto* lin = dynamic_cast<Linear*>(&l)) {
+      kaiming_init(*lin, rng);
+    }
+  });
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,23 @@
+// Weight initialisation.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace capr::nn {
+
+class Conv2d;
+class Linear;
+
+/// Kaiming-normal (He) init for a conv: N(0, sqrt(2 / fan_in)).
+void kaiming_init(Conv2d& conv, Rng& rng);
+
+/// Kaiming-normal init for a linear layer; bias zeroed.
+void kaiming_init(Linear& linear, Rng& rng);
+
+/// Initialises every Conv2d/Linear reachable from `root` (composites are
+/// traversed); BatchNorm keeps its (1, 0) affine defaults.
+class Sequential;
+void init_all(Sequential& root, Rng& rng);
+
+}  // namespace capr::nn

@@ -1,0 +1,43 @@
+#include "nn/layer.h"
+
+#include <stdexcept>
+
+namespace capr::nn {
+
+void Layer::apply_output_instrumentation(Tensor& out) {
+  if (!instrument_.channel_scale.empty()) {
+    if (out.rank() < 2) throw std::invalid_argument("channel_scale needs a batched output");
+    const int64_t n = out.dim(0);
+    const int64_t c = out.dim(1);
+    if (static_cast<int64_t>(instrument_.channel_scale.size()) != c) {
+      throw std::invalid_argument("channel_scale size " +
+                                  std::to_string(instrument_.channel_scale.size()) +
+                                  " does not match channel count " + std::to_string(c));
+    }
+    const int64_t plane = out.numel() / (n * c);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float s = instrument_.channel_scale[static_cast<size_t>(ch)];
+        if (s == 1.0f) continue;
+        float* p = out.data() + (i * c + ch) * plane;
+        for (int64_t k = 0; k < plane; ++k) p[k] *= s;
+      }
+    }
+  }
+  if (instrument_.zero_flat_index) {
+    const int64_t idx = *instrument_.zero_flat_index;
+    if (idx < 0 || idx >= out.numel()) {
+      throw std::out_of_range("zero_flat_index " + std::to_string(idx) +
+                              " out of range for output with " + std::to_string(out.numel()) +
+                              " elements");
+    }
+    out[idx] = 0.0f;
+  }
+  if (instrument_.capture) instrument_.captured_output = out;
+}
+
+void Layer::apply_grad_instrumentation(const Tensor& grad_output) {
+  if (instrument_.capture) instrument_.captured_grad = grad_output;
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,109 @@
+// Layer abstraction: explicit forward/backward with cached state.
+//
+// The framework is deliberately layer-based (Caffe-style) rather than a
+// taped autograd: pruning experiments need precise control over where
+// activations are captured, zeroed, and masked, and a fixed layer graph
+// makes structural surgery (removing filters) straightforward.
+//
+// Conventions:
+//  - Activations are NCHW: [N, C, H, W]; fully-connected activations are
+//    [N, F]. Batch dimension always first.
+//  - forward(x, training) caches whatever backward needs. backward(g)
+//    consumes that cache and must be called at most once per forward.
+//  - Parameter gradients ACCUMULATE across backward calls; the optimizer
+//    zeroes them. (Accumulation is what per-class scoring loops rely on.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace capr::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::string n = {}) : name(std::move(n)) {}
+  Param(std::string n, Shape shape) : name(std::move(n)), value(shape), grad(std::move(shape)) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+  /// Re-shapes value and grad together (used by pruning surgery).
+  void assign(Tensor new_value) {
+    grad = Tensor(new_value.shape());
+    value = std::move(new_value);
+  }
+};
+
+/// Optional per-layer instrumentation used by importance scoring.
+///
+/// When `capture` is set, forward stores the layer output and backward
+/// stores the incoming gradient, giving exactly the (a, dL/da) pairs of
+/// the paper's Eq. 4. `zero_flat_index` implements the exact zero-out
+/// intervention of Eq. 3: the given flat element of the output (within
+/// the whole batch tensor) is forced to zero during forward.
+/// `channel_scale` multiplies output channel c by channel_scale[c]
+/// (empty = identity); masks simulate pruning before real surgery.
+struct Instrument {
+  bool capture = false;
+  Tensor captured_output;
+  Tensor captured_grad;
+  std::optional<int64_t> zero_flat_index;
+  std::vector<float> channel_scale;
+
+  void reset_interventions() {
+    zero_flat_index.reset();
+    channel_scale.clear();
+  }
+};
+
+/// Base class of all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output; caches state for backward when needed.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates gradients; accumulates into parameter grads, returns
+  /// gradient with respect to the layer input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters of this layer (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Short kind tag, e.g. "conv2d"; used in reports and checkpoints.
+  virtual std::string kind() const = 0;
+
+  /// Output shape (excluding batch) for an input shape (excluding batch).
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Stable name assigned by the model builder; empty if anonymous.
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  Instrument& instrument() { return instrument_; }
+
+ protected:
+  Layer() = default;
+
+  /// Applies capture / zero / channel-scale interventions to a computed
+  /// output tensor (NCHW or NF). Call at the end of forward.
+  void apply_output_instrumentation(Tensor& out);
+
+  /// Captures grad_output if capture is on. Call at the start of backward.
+  void apply_grad_instrumentation(const Tensor& grad_output);
+
+  std::string name_;
+  Instrument instrument_;
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,130 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "nn/conv2d.h"  // normalize_indices / surviving_indices
+#include "tensor/gemm.h"
+
+namespace capr::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight", {out_features, in_features}),
+      bias_("bias", bias ? Shape{out_features} : Shape{0}) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: non-positive feature count");
+  }
+}
+
+Shape Linear::output_shape(const Shape& in) const {
+  if (in.size() != 1 || in[0] != in_features_) {
+    throw std::invalid_argument("Linear " + name_ + ": input shape " + to_string(in) +
+                                " incompatible with in_features " +
+                                std::to_string(in_features_));
+  }
+  return {out_features_};
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear " + name_ + ": bad input " + to_string(input.shape()));
+  }
+  Tensor out = matmul_nt(input, weight_.value);  // [N, out]
+  if (has_bias_) {
+    const int64_t n = out.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  (void)training;  // backward must work after either mode (scoring passes)
+  cached_input_ = input;
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_input_.empty()) {
+    throw std::logic_error("Linear " + name_ + ": backward without cached forward");
+  }
+  const int64_t n = cached_input_.dim(0);
+  if (grad_output.shape() != Shape{n, out_features_}) {
+    throw std::invalid_argument("Linear " + name_ + ": grad shape mismatch");
+  }
+  // dW = go^T x ; dx = go W ; db = col sums of go.
+  Tensor dw = matmul_tn(grad_output, cached_input_);  // [out, in]
+  for (int64_t i = 0; i < dw.numel(); ++i) weight_.grad[i] += dw[i];
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = grad_output.data() + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+    }
+  }
+  return matmul(grad_output, weight_.value);  // [N, in]
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+void Linear::remove_in_features(const std::vector<int64_t>& features) {
+  const auto removed = normalize_indices(features, in_features_, "Linear::remove_in_features");
+  if (removed.empty()) return;
+  if (static_cast<int64_t>(removed.size()) >= in_features_) {
+    throw std::invalid_argument("Linear " + name_ + ": cannot remove all input features");
+  }
+  const auto keep = surviving_indices(removed, in_features_);
+  Tensor nw({out_features_, static_cast<int64_t>(keep.size())});
+  for (int64_t o = 0; o < out_features_; ++o) {
+    const float* src = weight_.value.data() + o * in_features_;
+    float* dst = nw.data() + o * static_cast<int64_t>(keep.size());
+    for (size_t k = 0; k < keep.size(); ++k) dst[k] = src[keep[k]];
+  }
+  weight_.assign(std::move(nw));
+  in_features_ = static_cast<int64_t>(keep.size());
+}
+
+void Linear::remove_out_features(const std::vector<int64_t>& features) {
+  const auto removed = normalize_indices(features, out_features_, "Linear::remove_out_features");
+  if (removed.empty()) return;
+  if (static_cast<int64_t>(removed.size()) >= out_features_) {
+    throw std::invalid_argument("Linear " + name_ + ": cannot remove all output features");
+  }
+  const auto keep = surviving_indices(removed, out_features_);
+  Tensor nw({static_cast<int64_t>(keep.size()), in_features_});
+  for (size_t k = 0; k < keep.size(); ++k) {
+    const float* src = weight_.value.data() + keep[k] * in_features_;
+    std::copy(src, src + in_features_, nw.data() + static_cast<int64_t>(k) * in_features_);
+  }
+  weight_.assign(std::move(nw));
+  if (has_bias_) {
+    Tensor nb({static_cast<int64_t>(keep.size())});
+    for (size_t k = 0; k < keep.size(); ++k) nb[static_cast<int64_t>(k)] = bias_.value[keep[k]];
+    bias_.assign(std::move(nb));
+  }
+  out_features_ = static_cast<int64_t>(keep.size());
+}
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (input.rank() < 2) throw std::invalid_argument("Flatten: expected batched input");
+  cached_in_shape_ = input.shape();
+  Tensor out = input.reshape({input.dim(0), -1});
+  (void)training;
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_in_shape_.empty()) throw std::logic_error("Flatten: backward without forward");
+  return grad_output.reshape(cached_in_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& in) const { return {numel_of(in)}; }
+
+}  // namespace capr::nn

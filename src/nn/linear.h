@@ -1,0 +1,56 @@
+// Fully-connected layer and flattening.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace capr::nn {
+
+/// Affine layer: y = x W^T + b with W of shape [out_features, in_features].
+class Linear final : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "linear"; }
+  Shape output_shape(const Shape& in) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
+
+  /// Removes input features (surgery when an upstream conv channel dies;
+  /// the caller maps channels to flattened feature indices).
+  void remove_in_features(const std::vector<int64_t>& features);
+
+  /// Removes output features (rows of W and bias entries). Used by the
+  /// class-specialization extension to shrink a classifier head to a
+  /// subset of classes.
+  void remove_out_features(const std::vector<int64_t>& features);
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  Param weight_, bias_;
+  Tensor cached_input_;
+};
+
+/// Flattens [N, C, H, W] (or any batched shape) to [N, rest].
+class Flatten final : public Layer {
+ public:
+  Flatten() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "flatten"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace capr::nn

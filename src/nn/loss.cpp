@@ -1,0 +1,78 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace capr::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax: expected [N, C] logits");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float m = row[0];
+    for (int64_t j = 1; j < c; ++j) m = row[j] > m ? row[j] : m;
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int64_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("cross-entropy: expected [N, C] logits");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("cross-entropy: " + std::to_string(labels.size()) +
+                                " labels for batch of " + std::to_string(n));
+  }
+  for (int64_t lbl : labels) {
+    if (lbl < 0 || lbl >= c) throw std::out_of_range("cross-entropy: label out of range");
+  }
+  probs_ = softmax(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float p = probs_[i * c + labels[static_cast<size_t>(i)]];
+    loss -= std::log(static_cast<double>(p) + 1e-12);
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) throw std::logic_error("cross-entropy: backward before forward");
+  const int64_t n = probs_.dim(0), c = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    grad[i * c + labels_[static_cast<size_t>(i)]] -= 1.0f;
+    for (int64_t j = 0; j < c; ++j) grad[i * c + j] *= inv_n;
+  }
+  return grad;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("accuracy: expected [N, C] logits");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n || n == 0) {
+    throw std::invalid_argument("accuracy: label/batch size mismatch");
+  }
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace capr::nn

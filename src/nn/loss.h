@@ -1,0 +1,35 @@
+// Classification loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace capr::nn {
+
+/// Numerically stable softmax + cross-entropy over logits [N, C].
+///
+/// forward returns the mean loss over the batch; backward returns
+/// dL/dlogits (already divided by N).
+class SoftmaxCrossEntropy {
+ public:
+  /// `labels` holds one class index per batch row.
+  float forward(const Tensor& logits, const std::vector<int64_t>& labels);
+  Tensor backward() const;
+
+  /// Softmax probabilities from the last forward, [N, C].
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int64_t> labels_;
+};
+
+/// Row-wise softmax of logits [N, C] (used standalone by a few baselines).
+Tensor softmax(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace capr::nn

@@ -1,0 +1,66 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capr::nn {
+
+std::vector<std::vector<int64_t>> confusion_matrix(Model& model, const data::Dataset& set,
+                                                   int64_t batch_size) {
+  const int64_t c = set.num_classes();
+  std::vector<std::vector<int64_t>> counts(static_cast<size_t>(c),
+                                           std::vector<int64_t>(static_cast<size_t>(c), 0));
+  for (int64_t first = 0; first < set.size(); first += batch_size) {
+    const int64_t count = std::min(batch_size, set.size() - first);
+    const data::Batch batch = set.slice(first, count);
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    const int64_t nc = logits.dim(1);
+    for (int64_t i = 0; i < count; ++i) {
+      const float* row = logits.data() + i * nc;
+      int64_t best = 0;
+      for (int64_t j = 1; j < nc; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      const int64_t actual = batch.labels[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(actual)][static_cast<size_t>(best)];
+    }
+  }
+  return counts;
+}
+
+std::vector<float> per_class_accuracy(Model& model, const data::Dataset& set,
+                                      int64_t batch_size) {
+  const auto cm = confusion_matrix(model, set, batch_size);
+  std::vector<float> acc(cm.size(), 0.0f);
+  for (size_t c = 0; c < cm.size(); ++c) {
+    int64_t total = 0;
+    for (int64_t n : cm[c]) total += n;
+    if (total > 0) acc[c] = static_cast<float>(cm[c][c]) / static_cast<float>(total);
+  }
+  return acc;
+}
+
+float topk_accuracy(Model& model, const data::Dataset& set, int64_t k, int64_t batch_size) {
+  if (k <= 0) throw std::invalid_argument("topk_accuracy: k must be positive");
+  int64_t correct = 0;
+  for (int64_t first = 0; first < set.size(); first += batch_size) {
+    const int64_t count = std::min(batch_size, set.size() - first);
+    const data::Batch batch = set.slice(first, count);
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    const int64_t nc = logits.dim(1);
+    const int64_t kk = std::min(k, nc);
+    for (int64_t i = 0; i < count; ++i) {
+      const float* row = logits.data() + i * nc;
+      const float label_logit = row[batch.labels[static_cast<size_t>(i)]];
+      // Rank of the label logit: count of strictly larger entries.
+      int64_t larger = 0;
+      for (int64_t j = 0; j < nc; ++j) {
+        if (row[j] > label_logit) ++larger;
+      }
+      if (larger < kk) ++correct;
+    }
+  }
+  return set.size() ? static_cast<float>(correct) / static_cast<float>(set.size()) : 0.0f;
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,26 @@
+// Classification metrics beyond top-1 accuracy — per-class views that
+// the class-aware analysis naturally wants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace capr::nn {
+
+/// counts[actual][predicted] over a dataset, eval mode.
+std::vector<std::vector<int64_t>> confusion_matrix(Model& model, const data::Dataset& set,
+                                                   int64_t batch_size = 64);
+
+/// Top-1 accuracy per class (recall): correct_c / total_c. Classes with
+/// no examples report 0.
+std::vector<float> per_class_accuracy(Model& model, const data::Dataset& set,
+                                      int64_t batch_size = 64);
+
+/// Top-k accuracy: label within the k highest logits.
+float topk_accuracy(Model& model, const data::Dataset& set, int64_t k,
+                    int64_t batch_size = 64);
+
+}  // namespace capr::nn

@@ -1,0 +1,68 @@
+#include "nn/model.h"
+
+#include <stdexcept>
+
+namespace capr::nn {
+
+std::map<std::string, Tensor> Model::state_dict() {
+  std::map<std::string, Tensor> dict;
+  net->visit([&dict](Layer& l) {
+    for (Param* p : l.params()) {
+      const std::string key = l.name() + "." + p->name;
+      if (!dict.emplace(key, p->value).second) {
+        throw std::runtime_error("duplicate state key '" + key +
+                                 "'; builder must assign unique layer names");
+      }
+    }
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+      dict.emplace(l.name() + ".running_mean", bn->running_mean());
+      dict.emplace(l.name() + ".running_var", bn->running_var());
+    }
+  });
+  return dict;
+}
+
+void Model::load_state_dict(const std::map<std::string, Tensor>& dict) {
+  size_t used = 0;
+  net->visit([&dict, &used](Layer& l) {
+    const auto fetch = [&](const std::string& key) -> const Tensor& {
+      auto it = dict.find(key);
+      if (it == dict.end()) throw std::runtime_error("state dict missing key '" + key + "'");
+      return it->second;
+    };
+    for (Param* p : l.params()) {
+      const std::string key = l.name() + "." + p->name;
+      const Tensor& src = fetch(key);
+      if (src.shape() != p->value.shape()) {
+        throw std::runtime_error("state dict shape mismatch for '" + key + "': " +
+                                 to_string(src.shape()) + " vs " + to_string(p->value.shape()));
+      }
+      p->value = src;
+      ++used;
+    }
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+      bn->running_mean() = fetch(l.name() + ".running_mean");
+      bn->running_var() = fetch(l.name() + ".running_var");
+      used += 2;
+    }
+  });
+  if (used != dict.size()) {
+    throw std::runtime_error("state dict has " + std::to_string(dict.size() - used) +
+                             " unused entries; model/checkpoint mismatch");
+  }
+}
+
+int64_t Model::parameter_count() {
+  int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+PrunableUnit* Model::find_unit(const Conv2d* conv) {
+  for (auto& u : units) {
+    if (u.conv == conv) return &u;
+  }
+  return nullptr;
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,72 @@
+// Model: a layer graph plus the pruning metadata the builders attach.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace capr::nn {
+
+/// Where the output channels of a prunable conv are consumed. Removing
+/// output filter c of the producer requires removing input channel c of
+/// every conv consumer, or the feature block [c*spatial, (c+1)*spatial)
+/// of every linear consumer.
+struct ConsumerRef {
+  Conv2d* conv = nullptr;
+  Linear* linear = nullptr;
+  /// For linear consumers: flattened features per channel (H*W at the
+  /// flatten point). 1 when the flatten follows a global pooling.
+  int64_t spatial = 1;
+};
+
+/// One structurally prunable conv together with its coupled layers.
+struct PrunableUnit {
+  std::string name;
+  Conv2d* conv = nullptr;
+  BatchNorm2d* bn = nullptr;  // batchnorm on the conv output (nullable)
+  /// Layer whose output channel c carries the activations of filter c —
+  /// the ReLU after the conv; importance scoring captures here.
+  Layer* score_point = nullptr;
+  std::vector<ConsumerRef> consumers;
+};
+
+/// A network plus everything the pruning framework needs to know about it.
+///
+/// Builders (src/models) construct the layer graph, assign stable layer
+/// names, and enumerate PrunableUnits with their channel couplings.
+class Model {
+ public:
+  Model() = default;
+
+  Tensor forward(const Tensor& x, bool training) { return net->forward(x, training); }
+  Tensor backward(const Tensor& grad) { return net->backward(grad); }
+  std::vector<Param*> params() { return net->params(); }
+
+  /// All parameters keyed by "<layer-name>.<param-name>".
+  std::map<std::string, Tensor> state_dict();
+
+  /// Loads values saved by state_dict; shapes must match exactly.
+  /// Throws std::runtime_error on unknown keys or shape mismatches.
+  void load_state_dict(const std::map<std::string, Tensor>& dict);
+
+  /// Total number of weights (all trainable params).
+  int64_t parameter_count();
+
+  /// The unit owning `conv`, or nullptr.
+  PrunableUnit* find_unit(const Conv2d* conv);
+
+  std::string arch;            // e.g. "vgg16"
+  Shape input_shape;           // [C, H, W]
+  int64_t num_classes = 0;
+  std::unique_ptr<Sequential> net;
+  std::vector<PrunableUnit> units;
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,26 @@
+#include "nn/optim.h"
+
+namespace capr::nn {
+
+void SGD::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    if (p->value.numel() == 0) continue;
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& v = it->second;
+    if (!inserted && v.shape() != p->value.shape()) {
+      // Shape changed under us (surgery without reset_state); recover safely.
+      v = Tensor(p->value.shape());
+    }
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i] + cfg_.weight_decay * p->value[i];
+      v[i] = cfg_.momentum * v[i] + g;
+      p->value[i] -= cfg_.lr * v[i];
+    }
+  }
+}
+
+void SGD::zero_grad(const std::vector<Param*>& params) {
+  for (Param* p : params) p->zero_grad();
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,122 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace capr::nn {
+
+MaxPool2d::MaxPool2d(int64_t window, int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  if (window_ <= 0 || stride_ <= 0) throw std::invalid_argument("MaxPool2d: bad window/stride");
+}
+
+Shape MaxPool2d::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("MaxPool2d: expected CHW input shape");
+  const int64_t oh = (in[1] - window_) / stride_ + 1;
+  const int64_t ow = (in[2] - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("MaxPool2d: window does not fit input " + to_string(in));
+  }
+  return {in[0], oh, ow};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4) throw std::invalid_argument("MaxPool2d: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const Shape out_chw = output_shape({c, h, w});
+  const int64_t oh = out_chw[1], ow = out_chw[2];
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<size_t>(out.numel()), 0);
+  cached_in_shape_ = input.shape();
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      const int64_t plane_base = (i * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_at = 0;
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            const int64_t iy = y * stride_ + dy;
+            for (int64_t dx = 0; dx < window_; ++dx) {
+              const int64_t ix = x * stride_ + dx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_at = iy * w + ix;
+              }
+            }
+          }
+          out[oidx] = best;
+          argmax_[static_cast<size_t>(oidx)] = plane_base + best_at;
+        }
+      }
+    }
+  }
+  (void)training;
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_in_shape_.empty()) {
+    throw std::logic_error("MaxPool2d: backward without cached forward");
+  }
+  if (grad_output.numel() != static_cast<int64_t>(argmax_.size())) {
+    throw std::invalid_argument("MaxPool2d: grad element count mismatch");
+  }
+  Tensor grad_in(cached_in_shape_);
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[argmax_[static_cast<size_t>(i)]] += grad_output[i];
+  }
+  return grad_in;
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("GlobalAvgPool: expected CHW input shape");
+  return {in[0]};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+  cached_in_shape_ = input.shape();
+  Tensor out({n, c});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* p = input.data() + (i * c + ch) * plane;
+      double acc = 0.0;
+      for (int64_t k = 0; k < plane; ++k) acc += p[k];
+      out[i * c + ch] = static_cast<float>(acc / plane);
+    }
+  }
+  (void)training;
+  apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  apply_grad_instrumentation(grad_output);
+  if (cached_in_shape_.empty()) {
+    throw std::logic_error("GlobalAvgPool: backward without cached forward");
+  }
+  const int64_t n = cached_in_shape_[0], c = cached_in_shape_[1];
+  const int64_t plane = cached_in_shape_[2] * cached_in_shape_[3];
+  if (grad_output.shape() != Shape{n, c}) {
+    throw std::invalid_argument("GlobalAvgPool: grad shape mismatch");
+  }
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output[i * c + ch] * inv;
+      float* p = grad_in.data() + (i * c + ch) * plane;
+      for (int64_t k = 0; k < plane; ++k) p[k] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace capr::nn

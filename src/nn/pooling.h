@@ -1,0 +1,41 @@
+// Pooling layers.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace capr::nn {
+
+/// Max pooling with square window and stride (window == stride covers the
+/// VGG/ResNet use; general stride supported).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int64_t window, int64_t stride = 0);  // stride 0 => window
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "maxpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  int64_t window_, stride_;
+  Shape cached_in_shape_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  GlobalAvgPool() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "gavgpool"; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,64 @@
+#include "nn/schedulers.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace capr::nn {
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (Param* p : params) {
+    if (p->value.numel() == 0) continue;
+    auto [it, inserted] = moments_.try_emplace(p);
+    Moments& mo = it->second;
+    if (inserted || mo.m.shape() != p->value.shape()) {
+      mo.m = Tensor(p->value.shape());
+      mo.v = Tensor(p->value.shape());
+    }
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      mo.m[i] = cfg_.beta1 * mo.m[i] + (1.0f - cfg_.beta1) * g;
+      mo.v[i] = cfg_.beta2 * mo.v[i] + (1.0f - cfg_.beta2) * g * g;
+      const float mhat = mo.m[i] / bc1;
+      const float vhat = mo.v[i] / bc2;
+      // Decoupled weight decay (AdamW form).
+      p->value[i] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                                cfg_.weight_decay * p->value[i]);
+    }
+  }
+}
+
+void Adam::reset_state() {
+  moments_.clear();
+  t_ = 0;
+}
+
+StepLr::StepLr(int step_size, float gamma) : step_size_(step_size), gamma_(gamma) {
+  if (step_size <= 0) throw std::invalid_argument("StepLr: step_size must be positive");
+  if (gamma <= 0.0f) throw std::invalid_argument("StepLr: gamma must be positive");
+}
+
+float StepLr::multiplier(int epoch) const {
+  if (epoch < 0) throw std::invalid_argument("StepLr: negative epoch");
+  return std::pow(gamma_, static_cast<float>(epoch / step_size_));
+}
+
+CosineLr::CosineLr(int total_epochs, float min_mult)
+    : total_epochs_(total_epochs), min_mult_(min_mult) {
+  if (total_epochs <= 0) throw std::invalid_argument("CosineLr: total_epochs must be positive");
+  if (min_mult < 0.0f || min_mult > 1.0f) {
+    throw std::invalid_argument("CosineLr: min_mult must be in [0, 1]");
+  }
+}
+
+float CosineLr::multiplier(int epoch) const {
+  if (epoch < 0) throw std::invalid_argument("CosineLr: negative epoch");
+  const float t = std::min(1.0f, static_cast<float>(epoch) / static_cast<float>(total_epochs_));
+  return min_mult_ + (1.0f - min_mult_) * 0.5f *
+                         (1.0f + std::cos(std::numbers::pi_v<float> * t));
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,72 @@
+// Learning-rate schedules and the Adam optimizer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nn/layer.h"
+#include "nn/optim.h"
+
+namespace capr::nn {
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0). Provided as the common alternative to the paper's
+/// SGD for users adapting the library; the reproduction benches use SGD.
+class Adam {
+ public:
+  struct Config {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  explicit Adam(Config cfg) : cfg_(cfg) {}
+
+  void step(const std::vector<Param*>& params);
+  void reset_state();
+  Config& config() { return cfg_; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+  Config cfg_;
+  std::unordered_map<const Param*, Moments> moments_;
+  int64_t t_ = 0;
+};
+
+/// Learning-rate schedule interface: maps an epoch index to a multiplier
+/// of the base learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Multiplier applied to the base lr at `epoch` (0-based).
+  virtual float multiplier(int epoch) const = 0;
+};
+
+/// Multiply by `gamma` every `step_size` epochs (classic step decay).
+class StepLr final : public LrSchedule {
+ public:
+  StepLr(int step_size, float gamma);
+  float multiplier(int epoch) const override;
+
+ private:
+  int step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from 1 down to `min_mult` over `total_epochs`.
+class CosineLr final : public LrSchedule {
+ public:
+  explicit CosineLr(int total_epochs, float min_mult = 0.0f);
+  float multiplier(int epoch) const override;
+
+ private:
+  int total_epochs_;
+  float min_mult_;
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,124 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "tensor/ops.h"
+
+namespace capr::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& child : children_) {
+    for (Param* p : child->params()) out.push_back(p);
+  }
+  return out;
+}
+
+Shape Sequential::output_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& child : children_) s = child->output_shape(s);
+  return s;
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& child : children_) {
+    if (auto* seq = dynamic_cast<Sequential*>(child.get())) {
+      seq->visit(fn);
+    } else if (auto* blk = dynamic_cast<BasicBlock*>(child.get())) {
+      blk->visit(fn);
+    } else {
+      fn(*child);
+    }
+  }
+}
+
+BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride)
+    : conv1_(std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1, false)),
+      bn1_(std::make_unique<BatchNorm2d>(out_channels)),
+      relu1_(std::make_unique<ReLU>()),
+      conv2_(std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, false)),
+      bn2_(std::make_unique<BatchNorm2d>(out_channels)),
+      relu_out_(std::make_unique<ReLU>()) {
+  if (stride != 1 || in_channels != out_channels) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0, false);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& input, bool training) {
+  Tensor main = conv1_->forward(input, training);
+  main = bn1_->forward(main, training);
+  main = relu1_->forward(main, training);
+  main = conv2_->forward(main, training);
+  main = bn2_->forward(main, training);
+  Tensor shortcut = input;
+  if (proj_conv_) {
+    shortcut = proj_conv_->forward(input, training);
+    shortcut = proj_bn_->forward(shortcut, training);
+  }
+  add_inplace(main, shortcut);
+  return relu_out_->forward(main, training);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  const Tensor g = relu_out_->backward(grad_output);
+  // The elementwise add fans the gradient out to both branches unchanged.
+  Tensor gmain = bn2_->backward(g);
+  gmain = conv2_->backward(gmain);
+  gmain = relu1_->backward(gmain);
+  gmain = bn1_->backward(gmain);
+  gmain = conv1_->backward(gmain);
+  if (proj_conv_) {
+    Tensor gshort = proj_bn_->backward(g);
+    gshort = proj_conv_->backward(gshort);
+    add_inplace(gmain, gshort);
+  } else {
+    add_inplace(gmain, g);
+  }
+  return gmain;
+}
+
+std::vector<Param*> BasicBlock::params() {
+  std::vector<Param*> out;
+  for (Layer* l : std::initializer_list<Layer*>{conv1_.get(), bn1_.get(), conv2_.get(),
+                                                bn2_.get(), proj_conv_.get(), proj_bn_.get()}) {
+    if (!l) continue;
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+Shape BasicBlock::output_shape(const Shape& in) const {
+  Shape s = conv1_->output_shape(in);
+  s = bn1_->output_shape(s);
+  s = conv2_->output_shape(s);
+  return bn2_->output_shape(s);
+}
+
+void BasicBlock::visit(const std::function<void(Layer&)>& fn) {
+  fn(*conv1_);
+  fn(*bn1_);
+  fn(*relu1_);
+  fn(*conv2_);
+  fn(*bn2_);
+  if (proj_conv_) {
+    fn(*proj_conv_);
+    fn(*proj_bn_);
+  }
+  fn(*relu_out_);
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,85 @@
+// Composite layers: sequential containers and residual blocks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+
+namespace capr::nn {
+
+/// Runs child layers in order. Owns its children.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer and returns a typed pointer to it (builder idiom):
+  ///   auto* conv = seq.add(std::make_unique<Conv2d>(...));
+  template <typename L>
+  L* add(std::unique_ptr<L> layer) {
+    L* raw = layer.get();
+    children_.push_back(std::move(layer));
+    return raw;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "sequential"; }
+  Shape output_shape(const Shape& in) const override;
+
+  size_t size() const { return children_.size(); }
+  Layer& child(size_t i) { return *children_.at(i); }
+
+  /// Depth-first visit of all non-composite layers.
+  void visit(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> children_;
+};
+
+/// ResNet basic block: conv1-bn1-relu1-conv2-bn2 (+ optional projection
+/// shortcut conv-bn), elementwise add, final relu.
+///
+/// Only conv1 is structurally prunable — conv2's output must keep the
+/// block's channel count so the residual add stays shape-legal. This is
+/// exactly the constraint the paper applies to ResNet56 ("only the first
+/// layer of each residual block is pruned").
+class BasicBlock final : public Layer {
+ public:
+  /// stride > 1 (or in != out channels) adds a 1x1 projection shortcut.
+  BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "basicblock"; }
+  Shape output_shape(const Shape& in) const override;
+
+  Conv2d& conv1() { return *conv1_; }
+  BatchNorm2d& bn1() { return *bn1_; }
+  class ReLU& relu1() { return *relu1_; }
+  Conv2d& conv2() { return *conv2_; }
+  BatchNorm2d& bn2() { return *bn2_; }
+  bool has_projection() const { return proj_conv_ != nullptr; }
+  Conv2d* proj_conv() { return proj_conv_.get(); }
+  BatchNorm2d* proj_bn() { return proj_bn_.get(); }
+  class ReLU& relu_out() { return *relu_out_; }
+
+  void visit(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<class ReLU> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;     // null for identity shortcut
+  std::unique_ptr<BatchNorm2d> proj_bn_;  // null for identity shortcut
+  std::unique_ptr<class ReLU> relu_out_;
+};
+
+}  // namespace capr::nn

@@ -1,0 +1,94 @@
+#include "nn/summary.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace capr::nn {
+namespace {
+
+struct Row {
+  std::string name, kind, shape;
+  int64_t params;
+};
+
+int64_t layer_params(Layer& l) {
+  int64_t n = 0;
+  for (Param* p : l.params()) n += p->value.numel();
+  return n;
+}
+
+void walk(Layer& layer, Shape& shape, std::vector<Row>& rows);
+
+void walk_block(BasicBlock& blk, Shape& shape, std::vector<Row>& rows) {
+  const Shape in = shape;
+  Shape s = in;
+  walk(blk.conv1(), s, rows);
+  walk(blk.bn1(), s, rows);
+  walk(blk.relu1(), s, rows);
+  walk(blk.conv2(), s, rows);
+  walk(blk.bn2(), s, rows);
+  if (blk.has_projection()) {
+    Shape p = in;
+    walk(*blk.proj_conv(), p, rows);
+    walk(*blk.proj_bn(), p, rows);
+  }
+  rows.push_back({blk.name() + ".add", "add", to_string(s), 0});
+  walk(blk.relu_out(), s, rows);
+  shape = s;
+}
+
+void walk(Layer& layer, Shape& shape, std::vector<Row>& rows) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    for (size_t i = 0; i < seq->size(); ++i) walk(seq->child(i), shape, rows);
+    return;
+  }
+  if (auto* blk = dynamic_cast<BasicBlock*>(&layer)) {
+    walk_block(*blk, shape, rows);
+    return;
+  }
+  shape = layer.output_shape(shape);
+  rows.push_back({layer.name().empty() ? "(anonymous)" : layer.name(), layer.kind(),
+                  to_string(shape), layer_params(layer)});
+}
+
+}  // namespace
+
+std::string summary(Model& model) {
+  std::vector<Row> rows;
+  Shape shape = model.input_shape;
+  for (size_t i = 0; i < model.net->size(); ++i) walk(model.net->child(i), shape, rows);
+
+  size_t wname = 5, wkind = 4, wshape = 12;
+  for (const Row& r : rows) {
+    wname = std::max(wname, r.name.size());
+    wkind = std::max(wkind, r.kind.size());
+    wshape = std::max(wshape, r.shape.size());
+  }
+  std::ostringstream os;
+  os << model.arch << " (input " << to_string(model.input_shape) << ", "
+     << model.num_classes << " classes)\n";
+  os << std::left << std::setw(static_cast<int>(wname) + 2) << "layer"
+     << std::setw(static_cast<int>(wkind) + 2) << "kind"
+     << std::setw(static_cast<int>(wshape) + 2) << "output shape"
+     << "params\n";
+  os << std::string(wname + wkind + wshape + 14, '-') << '\n';
+  int64_t total = 0;
+  for (const Row& r : rows) {
+    os << std::left << std::setw(static_cast<int>(wname) + 2) << r.name
+       << std::setw(static_cast<int>(wkind) + 2) << r.kind
+       << std::setw(static_cast<int>(wshape) + 2) << r.shape << r.params << '\n';
+    total += r.params;
+  }
+  os << std::string(wname + wkind + wshape + 14, '-') << '\n';
+  os << "total parameters: " << total << '\n';
+  os << "prunable units  : " << model.units.size() << " (";
+  int64_t filters = 0;
+  for (const PrunableUnit& u : model.units) filters += u.conv->out_channels();
+  os << filters << " filters)\n";
+  return os.str();
+}
+
+}  // namespace capr::nn

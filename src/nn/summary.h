@@ -1,0 +1,15 @@
+// Human-readable model summaries.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace capr::nn {
+
+/// Keras-style per-layer table: name, kind, output shape, parameters —
+/// plus totals and the list of prunable units. Shapes are computed by a
+/// probe walk from model.input_shape.
+std::string summary(Model& model);
+
+}  // namespace capr::nn

@@ -1,0 +1,74 @@
+#include "nn/trainer.h"
+
+#include "nn/schedulers.h"
+
+namespace capr::nn {
+
+TrainStats train(Model& model, const data::Dataset& train_set, const TrainConfig& cfg,
+                 Regularizer* reg) {
+  SGD sgd(cfg.sgd);
+  data::DataLoader::Options lopts;
+  lopts.batch_size = cfg.batch_size;
+  lopts.shuffle = true;
+  lopts.augment = cfg.augment;
+  data::DataLoader loader(train_set, lopts, Rng(cfg.loader_seed));
+
+  SoftmaxCrossEntropy ce;
+  const std::vector<Param*> params = model.params();
+  TrainStats stats;
+  const float base_lr = cfg.sgd.lr;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (cfg.lr_schedule != nullptr) {
+      sgd.config().lr = base_lr * cfg.lr_schedule->multiplier(epoch);
+    } else if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
+      sgd.config().lr *= cfg.lr_decay;
+    }
+    loader.reset();
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    data::Batch batch;
+    while (loader.next(batch)) {
+      SGD::zero_grad(params);
+      const Tensor logits = model.forward(batch.images, /*training=*/true);
+      float loss = ce.forward(logits, batch.labels);
+      model.backward(ce.backward());
+      if (reg) loss += reg->apply(model);
+      sgd.step(params);
+      if (cfg.after_step) cfg.after_step();
+      loss_sum += loss;
+      ++batches;
+    }
+    stats.final_loss = batches ? static_cast<float>(loss_sum / batches) : 0.0f;
+    stats.epochs_run = epoch + 1;
+    if (cfg.on_epoch) cfg.on_epoch(epoch, stats.final_loss);
+  }
+  return stats;
+}
+
+float evaluate(Model& model, const data::Dataset& set, int64_t batch_size) {
+  int64_t correct = 0;
+  for (int64_t first = 0; first < set.size(); first += batch_size) {
+    const int64_t count = std::min(batch_size, set.size() - first);
+    const data::Batch batch = set.slice(first, count);
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    correct += static_cast<int64_t>(
+        accuracy(logits, batch.labels) * static_cast<float>(count) + 0.5f);
+  }
+  return set.size() ? static_cast<float>(correct) / static_cast<float>(set.size()) : 0.0f;
+}
+
+float evaluate_loss(Model& model, const data::Dataset& set, int64_t batch_size) {
+  SoftmaxCrossEntropy ce;
+  double loss_sum = 0.0;
+  int64_t total = 0;
+  for (int64_t first = 0; first < set.size(); first += batch_size) {
+    const int64_t count = std::min(batch_size, set.size() - first);
+    const data::Batch batch = set.slice(first, count);
+    const Tensor logits = model.forward(batch.images, /*training=*/false);
+    loss_sum += static_cast<double>(ce.forward(logits, batch.labels)) * count;
+    total += count;
+  }
+  return total ? static_cast<float>(loss_sum / total) : 0.0f;
+}
+
+}  // namespace capr::nn

@@ -1,0 +1,63 @@
+// Training and evaluation loops.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optim.h"
+
+namespace capr::nn {
+
+/// A differentiable penalty added to the data loss. Implementations
+/// return the penalty value and must ADD their gradient contribution to
+/// the parameter grads of `model` (called after the data-loss backward,
+/// before the optimizer step). The class-aware ModifiedLoss implements
+/// this; a null regularizer means plain cross-entropy training.
+class Regularizer {
+ public:
+  virtual ~Regularizer() = default;
+  virtual float apply(Model& model) = 0;
+};
+
+class LrSchedule;
+
+struct TrainConfig {
+  int epochs = 5;
+  int64_t batch_size = 32;
+  SGD::Config sgd{};
+  bool augment = false;
+  /// Multiply the lr by `lr_decay` every `lr_decay_every` epochs (0 = off).
+  float lr_decay = 0.5f;
+  int lr_decay_every = 0;
+  /// Optional schedule object (see nn/schedulers.h); when set it takes
+  /// precedence over lr_decay/lr_decay_every. Not owned; must outlive the
+  /// train() call.
+  const LrSchedule* lr_schedule = nullptr;
+  uint64_t loader_seed = 7;
+  /// Optional per-epoch observer: (epoch, train_loss).
+  std::function<void(int, float)> on_epoch;
+  /// Optional hook run after every optimizer step. Used by mask-based
+  /// (unstructured) pruning to keep masked weights at zero during
+  /// fine-tuning.
+  std::function<void()> after_step;
+};
+
+struct TrainStats {
+  float final_loss = 0.0f;
+  int epochs_run = 0;
+};
+
+/// Trains `model` in place with SGD and an optional regularizer.
+TrainStats train(Model& model, const data::Dataset& train_set, const TrainConfig& cfg,
+                 Regularizer* reg = nullptr);
+
+/// Top-1 accuracy of `model` on `set` in eval mode.
+float evaluate(Model& model, const data::Dataset& set, int64_t batch_size = 64);
+
+/// Mean cross-entropy of `model` on `set` in eval mode.
+float evaluate_loss(Model& model, const data::Dataset& set, int64_t batch_size = 64);
+
+}  // namespace capr::nn

@@ -1,0 +1,54 @@
+#include "report/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace capr::report {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width " + std::to_string(row.size()) +
+                                " does not match header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path);
+  os << render();
+  if (!os) throw std::runtime_error("CsvWriter: write failure on " + path);
+}
+
+}  // namespace capr::report

@@ -1,0 +1,32 @@
+// CSV export of experiment results, for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capr::report {
+
+/// Minimal CSV writer with RFC-4180 quoting of cells that need it.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serialises header + rows; '\n' line endings.
+  std::string render() const;
+
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV cell when it contains a comma, quote or newline.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace capr::report

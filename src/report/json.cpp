@@ -1,0 +1,177 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace capr::report {
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::number(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) throw std::logic_error("JsonValue: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  if (kind_ != Kind::kObject) throw std::logic_error("JsonValue: set on non-object");
+  obj_.emplace_back(key, std::move(v));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) return "null";  // JSON has no inf/nan
+      std::ostringstream os;
+      os.precision(10);
+      os << num_;
+      return os.str();
+    }
+    case Kind::kString:
+      return "\"" + json_escape(str_) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        out += arr_[i].dump();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        out += "\"" + json_escape(obj_[i].first) + "\":" + obj_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+JsonValue to_json(const core::IterationRecord& rec) {
+  JsonValue v = JsonValue::object();
+  v.set("iteration", JsonValue::number(static_cast<int64_t>(rec.iteration)));
+  v.set("filters_removed", JsonValue::number(rec.filters_removed));
+  v.set("filters_remaining", JsonValue::number(rec.filters_remaining));
+  v.set("accuracy", JsonValue::number(static_cast<double>(rec.accuracy_after_finetune)));
+  v.set("params", JsonValue::number(rec.params));
+  v.set("flops", JsonValue::number(rec.flops));
+  return v;
+}
+
+JsonValue to_json(const core::PruneRunResult& res) {
+  JsonValue v = JsonValue::object();
+  v.set("original_accuracy", JsonValue::number(static_cast<double>(res.original_accuracy)));
+  v.set("final_accuracy", JsonValue::number(static_cast<double>(res.final_accuracy)));
+  v.set("pruning_ratio", JsonValue::number(res.report.pruning_ratio()));
+  v.set("flops_reduction", JsonValue::number(res.report.flops_reduction()));
+  v.set("params_before", JsonValue::number(res.report.params_before));
+  v.set("params_after", JsonValue::number(res.report.params_after));
+  v.set("stop_reason", JsonValue::string(res.stop_reason));
+  JsonValue iters = JsonValue::array();
+  for (const core::IterationRecord& rec : res.iterations) iters.push_back(to_json(rec));
+  v.set("iterations", std::move(iters));
+  return v;
+}
+
+JsonValue to_json(const hw::ModelSim& sim) {
+  JsonValue v = JsonValue::object();
+  v.set("total_cycles", JsonValue::number(sim.total_cycles));
+  v.set("total_macs", JsonValue::number(sim.total_macs));
+  v.set("total_dram_bytes", JsonValue::number(sim.total_dram_bytes));
+  v.set("total_energy_nj", JsonValue::number(sim.total_energy_nj));
+  JsonValue layers = JsonValue::array();
+  for (const hw::LayerSim& l : sim.layers) {
+    JsonValue lj = JsonValue::object();
+    lj.set("name", JsonValue::string(l.name));
+    lj.set("kind", JsonValue::string(l.kind));
+    lj.set("cycles", JsonValue::number(l.cycles));
+    lj.set("macs", JsonValue::number(l.macs));
+    lj.set("utilization", JsonValue::number(l.utilization));
+    layers.push_back(std::move(lj));
+  }
+  v.set("layers", std::move(layers));
+  return v;
+}
+
+}  // namespace capr::report

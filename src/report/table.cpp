@@ -1,0 +1,108 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace capr::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row has " + std::to_string(row.size()) +
+                                " cells, header has " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string human_count(int64_t n) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  const double d = static_cast<double>(n);
+  if (n >= 1'000'000'000) {
+    os.precision(2);
+    os << d / 1e9 << 'G';
+  } else if (n >= 1'000'000) {
+    os.precision(2);
+    os << d / 1e6 << 'M';
+  } else if (n >= 1'000) {
+    os.precision(1);
+    os << d / 1e3 << 'K';
+  } else {
+    os << n;
+  }
+  return os.str();
+}
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string histogram(const std::vector<float>& values, int buckets, float max_score,
+                      int bar_width) {
+  if (buckets <= 0 || max_score <= 0.0f || bar_width <= 0) {
+    throw std::invalid_argument("histogram: buckets, max_score, bar_width must be positive");
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(buckets), 0);
+  for (float v : values) {
+    int b = static_cast<int>(std::floor(v / max_score * static_cast<float>(buckets)));
+    b = std::clamp(b, 0, buckets - 1);
+    ++counts[static_cast<size_t>(b)];
+  }
+  int64_t peak = 1;
+  for (int64_t c : counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  const float step = max_score / static_cast<float>(buckets);
+  for (int b = 0; b < buckets; ++b) {
+    const float lo = step * static_cast<float>(b);
+    const float hi = lo + step;
+    const int64_t n = counts[static_cast<size_t>(b)];
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(n) / static_cast<double>(peak) * bar_width));
+    os << '[' << lo << ", " << hi << ")  ";
+    os.width(5);
+    os << n << "  " << std::string(static_cast<size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace capr::report

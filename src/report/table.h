@@ -1,0 +1,39 @@
+// Fixed-width ASCII table and histogram rendering for the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capr::report {
+
+/// Column-aligned text table with a header row and a separator line.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with two spaces of padding between columns.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "93.4%" style formatting of a [0, 1] fraction.
+std::string pct(double fraction, int decimals = 1);
+
+/// Compact count formatting: "1.23M", "45.6K", "789".
+std::string human_count(int64_t n);
+
+/// Fixed-precision float.
+std::string fixed(double v, int decimals = 2);
+
+/// Bucketed histogram of scores rendered as rows of '#' bars:
+///   [0.0, 1.0)  12 ############
+/// `max_score` fixes the bucket range so before/after plots align.
+std::string histogram(const std::vector<float>& values, int buckets, float max_score,
+                      int bar_width = 40);
+
+}  // namespace capr::report

@@ -1,0 +1,27 @@
+// Single-precision matrix multiplication kernels.
+//
+// These are the hot loops of the whole library (conv layers lower to GEMM
+// via im2col). The implementation is a cache-blocked triple loop in ikj
+// order, which the compiler vectorises; good enough for the scaled-down
+// experiment sizes this reproduction targets.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace capr {
+
+/// C = A(MxK) * B(KxN). Shapes validated; C allocated by callee.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(MxK) * B(NxK)^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A(KxM)^T * B(KxN).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Raw kernel: c[M,N] += a[M,K] * b[K,N] over contiguous row-major buffers.
+/// `accumulate=false` zeroes c first.
+void gemm(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+          bool accumulate = false);
+
+}  // namespace capr

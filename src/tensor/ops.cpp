@@ -1,0 +1,175 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace capr {
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + to_string(a.shape()) +
+                                " vs " + to_string(b.shape()));
+  }
+}
+
+void require_rank2(const Tensor& m, const char* op) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument(std::string(op) + ": expected rank-2 tensor, got " +
+                                to_string(m.shape()));
+  }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  require_same_shape(a, b, "axpy_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += alpha * b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& grad, const Tensor& pre) {
+  require_same_shape(grad, pre, "relu_backward");
+  Tensor out(grad.shape());
+  for (int64_t i = 0; i < grad.numel(); ++i) out[i] = pre[i] > 0.0f ? grad[i] : 0.0f;
+  return out;
+}
+
+Tensor abs(const Tensor& a) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = std::fabs(a[i]);
+  return out;
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] > 0.0f ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  }
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max of empty tensor");
+  float m = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = a[i] > m ? a[i] : m;
+  return m;
+}
+
+float min_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min of empty tensor");
+  float m = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = a[i] < m ? a[i] : m;
+  return m;
+}
+
+int64_t argmax(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("argmax of empty tensor");
+  int64_t best = 0;
+  for (int64_t i = 1; i < a.numel(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+float l1_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i]);
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(a[i]) * a[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+int64_t count_near_zero(const Tensor& a, float tol) {
+  int64_t n = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i]) <= tol) ++n;
+  }
+  return n;
+}
+
+Tensor add_rowwise(const Tensor& m, const Tensor& v) {
+  require_rank2(m, "add_rowwise");
+  if (v.rank() != 1 || v.dim(0) != m.dim(1)) {
+    throw std::invalid_argument("add_rowwise: vector shape " + to_string(v.shape()) +
+                                " does not match matrix " + to_string(m.shape()));
+  }
+  Tensor out(m.shape());
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out[r * cols + c] = m[r * cols + c] + v[c];
+  }
+  return out;
+}
+
+Tensor col_sum(const Tensor& m) {
+  require_rank2(m, "col_sum");
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  Tensor out({cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out[c] += m[r * cols + c];
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& m) {
+  require_rank2(m, "transpose");
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  Tensor out({cols, rows});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out[c * rows + r] = m[r * cols + c];
+  }
+  return out;
+}
+
+}  // namespace capr

@@ -1,0 +1,60 @@
+// Elementwise operations and reductions on tensors.
+//
+// Binary ops require exactly matching shapes (no broadcasting) except for
+// the *_rowwise helpers, which broadcast a vector across the rows of a
+// matrix — the only broadcast pattern the NN layers need.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace capr {
+
+// ---- elementwise binary (shapes must match) -------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// a += b
+void add_inplace(Tensor& a, const Tensor& b);
+/// a += alpha * b  (axpy)
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+/// a *= s
+void scale_inplace(Tensor& a, float s);
+
+// ---- elementwise unary -----------------------------------------------------
+
+Tensor relu(const Tensor& a);
+/// Gradient mask of relu: out[i] = grad[i] if pre[i] > 0 else 0.
+Tensor relu_backward(const Tensor& grad, const Tensor& pre);
+Tensor abs(const Tensor& a);
+/// Elementwise sign in {-1, 0, +1}.
+Tensor sign(const Tensor& a);
+
+// ---- reductions ------------------------------------------------------------
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+/// Index of the maximum element (first occurrence). Requires numel > 0.
+int64_t argmax(const Tensor& a);
+/// Sum of absolute values (L1 norm).
+float l1_norm(const Tensor& a);
+/// Euclidean norm.
+float l2_norm(const Tensor& a);
+/// Number of elements with |x| <= tol.
+int64_t count_near_zero(const Tensor& a, float tol);
+
+// ---- matrix helpers (rank-2 tensors) ---------------------------------------
+
+/// out[r, c] = m[r, c] + v[c]; v has extent m.dim(1).
+Tensor add_rowwise(const Tensor& m, const Tensor& v);
+
+/// Sum of each column: result extent is m.dim(1).
+Tensor col_sum(const Tensor& m);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& m);
+
+}  // namespace capr

@@ -1,0 +1,58 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace capr {
+namespace {
+
+std::atomic<int> g_num_threads{0};  // 0 = uninitialised -> hardware concurrency
+
+int resolve_default() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+void set_num_threads(int n) { g_num_threads.store(n <= 0 ? 0 : n); }
+
+int num_threads() {
+  const int n = g_num_threads.load();
+  return n == 0 ? resolve_default() : n;
+}
+
+void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int64_t)>& fn) {
+  const int64_t count = end - begin;
+  if (count <= 0) return;
+  const int workers = static_cast<int>(
+      std::min<int64_t>(count, static_cast<int64_t>(num_threads())));
+  if (workers <= 1) {
+    for (int64_t i = begin; i < end; ++i) fn(0, i);
+    return;
+  }
+  // Contiguous chunks; the first propagated exception wins.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  std::exception_ptr error;
+  std::atomic<bool> has_error{false};
+  const auto run_chunk = [&](int tid) {
+    const int64_t chunk = (count + workers - 1) / workers;
+    const int64_t lo = begin + tid * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    try {
+      for (int64_t i = lo; i < hi; ++i) fn(tid, i);
+    } catch (...) {
+      if (!has_error.exchange(true)) error = std::current_exception();
+    }
+  };
+  for (int tid = 1; tid < workers; ++tid) threads.emplace_back(run_chunk, tid);
+  run_chunk(0);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace capr

@@ -1,0 +1,29 @@
+// Minimal data-parallel helper.
+//
+// The heavy layers (conv forward/backward) are embarrassingly parallel
+// over the batch; parallel_for splits an index range across std::threads.
+// The worker count defaults to the hardware concurrency and can be pinned
+// (set_num_threads(1) gives fully deterministic serial execution — the
+// library's numerical results are identical either way because each index
+// writes disjoint outputs; reductions use per-thread scratch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace capr {
+
+/// Sets the global worker count. n <= 0 resets to hardware concurrency.
+void set_num_threads(int n);
+
+/// Current worker count (>= 1).
+int num_threads();
+
+/// Invokes fn(thread_index, i) for every i in [begin, end), partitioned
+/// into contiguous chunks across workers. fn must only touch state that
+/// is disjoint per i or per thread_index. Runs inline when the range is
+/// small or only one worker is configured.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int, int64_t)>& fn);
+
+}  // namespace capr

@@ -1,0 +1,92 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace capr {
+namespace {
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1) with full float32 mantissa coverage.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::uniform_int(int64_t n) {
+  if (n <= 0) throw std::invalid_argument("uniform_int requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = normal(mean, stddev);
+}
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = uniform(lo, hi);
+}
+
+void Rng::shuffle(std::vector<int64_t>& v) {
+  for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+    const int64_t j = uniform_int(i + 1);
+    std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]);
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace capr

@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, data synthesis,
+// shuffling, augmentation) flows through Rng so experiments are exactly
+// reproducible from a single seed. The generator is xoshiro256**, seeded
+// via SplitMix64 — fast, high quality, and trivially portable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace capr {
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  float uniform();
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t uniform_int(int64_t n);
+
+  /// Standard normal via Box-Muller.
+  float normal();
+
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Fills `t` with N(mean, stddev) samples.
+  void fill_normal(Tensor& t, float mean, float stddev);
+
+  /// Fills `t` with U[lo, hi) samples.
+  void fill_uniform(Tensor& t, float lo, float hi);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int64_t>& v);
+
+  /// A child generator with an independent stream; used to give each
+  /// subsystem (init, data, augmentation) its own deterministic stream.
+  Rng split();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace capr

@@ -1,0 +1,90 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace capr {
+namespace {
+
+constexpr uint32_t kMagic = 0x52504143;  // "CAPR" little-endian
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<uint64_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("checkpoint: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("checkpoint: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<uint32_t>(os, static_cast<uint32_t>(t.rank()));
+  for (int64_t d = 0; d < t.rank(); ++d) write_pod<int64_t>(os, t.dim(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel()) * static_cast<std::streamsize>(sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = read_pod<uint32_t>(is);
+  if (rank > 8) throw std::runtime_error("checkpoint: implausible tensor rank");
+  // Rank 0 encodes the default (empty) tensor, not a scalar.
+  if (rank == 0) return Tensor();
+  Shape shape(rank);
+  for (auto& e : shape) e = read_pod<int64_t>(is);
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel()) * static_cast<std::streamsize>(sizeof(float)));
+  if (!is) throw std::runtime_error("checkpoint: truncated tensor payload");
+  return t;
+}
+
+void save_tensor_map(const std::string& path, const std::map<std::string, Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_pod<uint32_t>(os, kMagic);
+  write_pod<uint32_t>(os, kVersion);
+  write_pod<uint64_t>(os, tensors.size());
+  for (const auto& [name, t] : tensors) {
+    write_string(os, name);
+    write_tensor(os, t);
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+std::map<std::string, Tensor> load_tensor_map(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path + " for reading");
+  if (read_pod<uint32_t>(is) != kMagic) throw std::runtime_error(path + ": not a CAPR checkpoint");
+  if (read_pod<uint32_t>(is) != kVersion) throw std::runtime_error(path + ": unsupported version");
+  const auto count = read_pod<uint64_t>(is);
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(is);
+    out.emplace(std::move(name), read_tensor(is));
+  }
+  return out;
+}
+
+}  // namespace capr

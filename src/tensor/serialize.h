@@ -1,0 +1,23 @@
+// Minimal binary (de)serialization for tensors and named tensor maps.
+// Format: little-endian; magic "CAPR", version, then entries of
+// (name, rank, extents, raw float payload). Used for model checkpoints.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace capr {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Writes a checkpoint of named tensors. Throws std::runtime_error on I/O error.
+void save_tensor_map(const std::string& path, const std::map<std::string, Tensor>& tensors);
+
+/// Reads a checkpoint written by save_tensor_map.
+std::map<std::string, Tensor> load_tensor_map(const std::string& path);
+
+}  // namespace capr

@@ -1,0 +1,141 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace capr {
+
+int64_t numel_of(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t e : shape) {
+    if (e < 0) throw std::invalid_argument("negative extent in shape " + to_string(shape));
+    n *= e;
+  }
+  return n;
+}
+
+std::string to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (numel_of(shape_) != static_cast<int64_t>(data_.size())) {
+    throw std::invalid_argument("data size " + std::to_string(data_.size()) +
+                                " does not match shape " + to_string(shape_));
+  }
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor({static_cast<int64_t>(values.size())}, std::vector<float>(values));
+}
+
+Tensor Tensor::from(Shape shape, std::initializer_list<float> values) {
+  return Tensor(std::move(shape), std::vector<float>(values));
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  const int64_t r = rank();
+  if (d < 0) d += r;
+  if (d < 0 || d >= r) {
+    throw std::out_of_range("dim " + std::to_string(d) + " out of range for rank " +
+                            std::to_string(r));
+  }
+  return shape_[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::offset_of(std::initializer_list<int64_t> idx) const {
+  if (static_cast<int64_t>(idx.size()) != rank()) {
+    throw std::invalid_argument("index rank " + std::to_string(idx.size()) +
+                                " does not match tensor rank " + std::to_string(rank()));
+  }
+  int64_t off = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    if (i < 0 || i >= shape_[d]) {
+      throw std::out_of_range("index " + std::to_string(i) + " out of range for dim " +
+                              std::to_string(d) + " with extent " + std::to_string(shape_[d]));
+    }
+    off = off * shape_[d] + i;
+    ++d;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(offset_of(idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(offset_of(idx))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  int64_t infer = -1;
+  int64_t known = 1;
+  for (size_t d = 0; d < new_shape.size(); ++d) {
+    if (new_shape[d] == -1) {
+      if (infer != -1) throw std::invalid_argument("at most one -1 extent allowed in reshape");
+      infer = static_cast<int64_t>(d);
+    } else {
+      known *= new_shape[d];
+    }
+  }
+  if (infer != -1) {
+    if (known == 0 || numel() % known != 0) {
+      throw std::invalid_argument("cannot infer extent: " + std::to_string(numel()) +
+                                  " elements into shape " + to_string(new_shape));
+    }
+    new_shape[static_cast<size_t>(infer)] = numel() / known;
+  }
+  if (numel_of(new_shape) != numel()) {
+    throw std::invalid_argument("reshape from " + to_string(shape_) + " to " +
+                                to_string(new_shape) + " changes element count");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << to_string(t.shape());
+  if (t.numel() <= 32) {
+    os << " {";
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      if (i) os << ", ";
+      os << t[i];
+    }
+    os << '}';
+  }
+  return os;
+}
+
+}  // namespace capr

@@ -1,0 +1,92 @@
+// Dense row-major float32 tensor used throughout the library.
+//
+// Design notes:
+//  - Contiguous storage only. Views/strides are intentionally not supported;
+//    layout-changing ops (im2col, flatten) copy. This keeps every kernel
+//    trivially correct and is fast enough for the paper-scale experiments.
+//  - Value semantics: copying a Tensor copies its buffer; moves are cheap.
+//  - Shapes use int64_t extents. Rank is small (<= 4 in practice: NCHW).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace capr {
+
+/// Shape of a tensor: a list of non-negative extents.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (product of extents).
+int64_t numel_of(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form, for error messages and logs.
+std::string to_string(const Shape& shape);
+
+/// Dense row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty tensor: rank 0, zero elements.
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor of the given shape taking ownership of `data`.
+  /// Throws std::invalid_argument if sizes disagree.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Convenience: 1-D tensor from an initializer list.
+  static Tensor from(std::initializer_list<float> values);
+
+  /// Tensor of the given shape with elements from an initializer list.
+  static Tensor from(Shape shape, std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `d` (supports negative indices, Python style).
+  int64_t dim(int64_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Bounds-checked multi-dimensional access (rank must match).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Flat offset of a multi-dimensional index; bounds-checked.
+  int64_t offset_of(std::initializer_list<int64_t> idx) const;
+
+  /// Returns a tensor with the same data and a new shape.
+  /// One extent may be -1 (inferred). Throws if element counts disagree.
+  Tensor reshape(Shape new_shape) const;
+
+  /// In-place fill.
+  void fill(float value);
+
+  /// True iff shapes are equal and all elements are within `atol`.
+  bool allclose(const Tensor& other, float atol = 1e-5f) const;
+
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Prints shape and (for small tensors) elements; for debugging and tests.
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace capr

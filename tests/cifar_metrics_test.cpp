@@ -1,0 +1,148 @@
+// CIFAR binary loader (against synthesized files in the exact on-disk
+// format) and classification metrics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/cifar_binary.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+
+namespace capr {
+namespace {
+
+/// Writes `n` records in CIFAR binary layout with deterministic content.
+void write_fake_cifar(const std::string& path, int64_t n, int64_t label_bytes) {
+  std::ofstream os(path, std::ios::binary);
+  for (int64_t i = 0; i < n; ++i) {
+    if (label_bytes == 2) {
+      const uint8_t coarse = static_cast<uint8_t>(i % 20);
+      os.put(static_cast<char>(coarse));
+    }
+    const uint8_t fine = static_cast<uint8_t>(i % 10);
+    os.put(static_cast<char>(fine));
+    for (int64_t b = 0; b < 3072; ++b) {
+      os.put(static_cast<char>((i * 31 + b) % 256));
+    }
+  }
+}
+
+TEST(CifarBinaryTest, ParsesRecordsAndLabels) {
+  const std::string path = ::testing::TempDir() + "fake_c10.bin";
+  write_fake_cifar(path, 7, 1);
+  const data::Dataset d = data::parse_cifar_file(path, 10, 3073, /*normalize=*/false);
+  EXPECT_EQ(d.size(), 7);
+  EXPECT_EQ(d.image_shape(), (Shape{3, 32, 32}));
+  for (int64_t i = 0; i < 7; ++i) EXPECT_EQ(d.label(i), i % 10);
+  // First pixel of record 0 is byte value 0 -> 0.0 after /255.
+  EXPECT_FLOAT_EQ(d.images()[0], 0.0f);
+  // Pixel values bounded in [0, 1] without normalisation.
+  for (int64_t i = 0; i < d.images().numel(); ++i) {
+    EXPECT_GE(d.images()[i], 0.0f);
+    EXPECT_LE(d.images()[i], 1.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CifarBinaryTest, Cifar100RecordsUseFineLabel) {
+  const std::string path = ::testing::TempDir() + "fake_c100.bin";
+  write_fake_cifar(path, 5, 2);
+  const data::Dataset d = data::parse_cifar_file(path, 100, 3074, false);
+  EXPECT_EQ(d.size(), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(d.label(i), i % 10);  // fine label
+  std::remove(path.c_str());
+}
+
+TEST(CifarBinaryTest, NormalizationChangesScale) {
+  const std::string path = ::testing::TempDir() + "fake_norm.bin";
+  write_fake_cifar(path, 2, 1);
+  const data::Dataset raw = data::parse_cifar_file(path, 10, 3073, false);
+  const data::Dataset norm = data::parse_cifar_file(path, 10, 3073, true);
+  bool any_negative = false;
+  for (int64_t i = 0; i < norm.images().numel(); ++i) any_negative |= norm.images()[i] < 0.0f;
+  EXPECT_TRUE(any_negative);  // zero pixels map below the channel mean
+  EXPECT_FALSE(raw.images().allclose(norm.images(), 1e-3f));
+  std::remove(path.c_str());
+}
+
+TEST(CifarBinaryTest, RejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "fake_bad.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "garbage that is not a multiple of 3073";
+  }
+  EXPECT_THROW(data::parse_cifar_file(path, 10, 3073, false), std::runtime_error);
+  EXPECT_THROW(data::parse_cifar_file("/nonexistent.bin", 10, 3073, false),
+               std::runtime_error);
+  EXPECT_THROW(data::parse_cifar_file(path, 10, 999, false), std::invalid_argument);
+  std::remove(path.c_str());
+  data::CifarBinaryConfig cfg;
+  cfg.num_classes = 37;
+  EXPECT_THROW(data::load_cifar_binary(cfg), std::invalid_argument);
+}
+
+struct MetricsFixture {
+  nn::Model model;
+  data::SyntheticCifar data;
+
+  MetricsFixture() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 4;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.5f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.train_per_class = 16;
+    dcfg.test_per_class = 8;
+    dcfg.image_size = 8;
+    dcfg.noise_stddev = 0.1f;
+    data = data::make_synthetic_cifar(dcfg);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 10;
+    tcfg.batch_size = 16;
+    tcfg.sgd.lr = 0.05f;
+    nn::train(model, data.train, tcfg);
+  }
+};
+
+TEST(MetricsTest, ConfusionMatrixSumsToDatasetSize) {
+  MetricsFixture f;
+  const auto cm = nn::confusion_matrix(f.model, f.data.test);
+  int64_t total = 0;
+  for (const auto& row : cm) {
+    for (int64_t v : row) {
+      EXPECT_GE(v, 0);
+      total += v;
+    }
+  }
+  EXPECT_EQ(total, f.data.test.size());
+}
+
+TEST(MetricsTest, PerClassAccuracyConsistentWithOverall) {
+  MetricsFixture f;
+  const auto per_class = nn::per_class_accuracy(f.model, f.data.test);
+  ASSERT_EQ(per_class.size(), 4u);
+  double weighted = 0.0;
+  for (float a : per_class) weighted += a * 8.0;  // 8 examples per class
+  const float overall = nn::evaluate(f.model, f.data.test);
+  EXPECT_NEAR(weighted / 32.0, overall, 1e-5);
+}
+
+TEST(MetricsTest, TopKOrderingAndBounds) {
+  MetricsFixture f;
+  const float top1 = nn::topk_accuracy(f.model, f.data.test, 1);
+  const float top2 = nn::topk_accuracy(f.model, f.data.test, 2);
+  const float top4 = nn::topk_accuracy(f.model, f.data.test, 4);
+  EXPECT_NEAR(top1, nn::evaluate(f.model, f.data.test), 1e-5f);
+  EXPECT_LE(top1, top2);
+  EXPECT_LE(top2, top4);
+  EXPECT_FLOAT_EQ(top4, 1.0f);  // k == num_classes always hits
+  EXPECT_THROW(nn::topk_accuracy(f.model, f.data.test, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capr

@@ -1,0 +1,47 @@
+#include "report/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace capr::report {
+namespace {
+
+TEST(CsvEscapeTest, PassesPlainCellsThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("93.6%"), "93.6%");
+}
+
+TEST(CsvEscapeTest, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, RendersHeaderAndRows) {
+  CsvWriter csv({"method", "accuracy"});
+  csv.add_row({"L1", "0.93"});
+  csv.add_row({"Class-Aware", "0.94"});
+  EXPECT_EQ(csv.render(), "method,accuracy\nL1,0.93\nClass-Aware,0.94\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(CsvWriterTest, ValidatesShapes) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "capr_test.csv";
+  csv.write(path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)), {});
+  EXPECT_EQ(contents, "x\n1\n");
+  EXPECT_THROW(csv.write("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace capr::report

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace capr::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Tensor images({6, 1, 2, 2});
+  for (int64_t i = 0; i < images.numel(); ++i) images[i] = static_cast<float>(i);
+  return Dataset(std::move(images), {0, 1, 2, 0, 1, 2}, 3);
+}
+
+TEST(DatasetTest, Validation) {
+  EXPECT_THROW(Dataset(Tensor({2, 3}), {0, 1}, 2), std::invalid_argument);  // not NCHW
+  EXPECT_THROW(Dataset(Tensor({2, 1, 2, 2}), {0}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(Tensor({2, 1, 2, 2}), {0, 5}, 2), std::out_of_range);
+  EXPECT_THROW(Dataset(Tensor({2, 1, 2, 2}), {0, 1}, 0), std::invalid_argument);
+}
+
+TEST(DatasetTest, GatherCopiesRows) {
+  const Dataset d = tiny_dataset();
+  const Batch b = d.gather({2, 0});
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.labels, (std::vector<int64_t>{2, 0}));
+  EXPECT_FLOAT_EQ(b.images[0], 8.0f);  // row 2 starts at flat 8
+  EXPECT_FLOAT_EQ(b.images[4], 0.0f);  // row 0
+  EXPECT_THROW(d.gather({6}), std::out_of_range);
+}
+
+TEST(DatasetTest, SliceBounds) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.slice(4, 2).size(), 2);
+  EXPECT_THROW(d.slice(5, 2), std::out_of_range);
+}
+
+TEST(DatasetTest, ClassIndexAndSampling) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.indices_of_class(1), (std::vector<int64_t>{1, 4}));
+  Rng rng(1);
+  const Batch b = d.sample_class(1, 5, rng);
+  EXPECT_EQ(b.size(), 2);  // only two available
+  for (int64_t lbl : b.labels) EXPECT_EQ(lbl, 1);
+  EXPECT_THROW(d.sample_class(2, 0, rng), std::invalid_argument);
+}
+
+TEST(SyntheticTest, DeterministicGeneration) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 3;
+  cfg.test_per_class = 2;
+  cfg.image_size = 8;
+  const SyntheticCifar a = make_synthetic_cifar(cfg);
+  const SyntheticCifar b = make_synthetic_cifar(cfg);
+  EXPECT_TRUE(a.train.images().allclose(b.train.images(), 0.0f));
+  EXPECT_TRUE(a.test.images().allclose(b.test.images(), 0.0f));
+  cfg.seed = 43;
+  const SyntheticCifar c = make_synthetic_cifar(cfg);
+  EXPECT_FALSE(a.train.images().allclose(c.train.images(), 1e-3f));
+}
+
+TEST(SyntheticTest, ShapesAndBalance) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 5;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  cfg.image_size = 8;
+  const SyntheticCifar s = make_synthetic_cifar(cfg);
+  EXPECT_EQ(s.train.size(), 20);
+  EXPECT_EQ(s.test.size(), 10);
+  EXPECT_EQ(s.train.image_shape(), (Shape{3, 8, 8}));
+  for (int64_t cls = 0; cls < 5; ++cls) {
+    EXPECT_EQ(static_cast<int64_t>(s.train.indices_of_class(cls).size()), 4);
+  }
+}
+
+TEST(SyntheticTest, ClassesAreStatisticallyDistinct) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_per_class = 8;
+  cfg.image_size = 8;
+  cfg.noise_stddev = 0.05f;
+  const SyntheticCifar s = make_synthetic_cifar(cfg);
+  // Mean intra-class distance should be well below inter-class distance.
+  const auto mean_image = [&](int64_t cls) {
+    const auto idx = s.train.indices_of_class(cls);
+    const Batch b = s.train.gather(idx);
+    Tensor m({3 * 8 * 8});
+    for (int64_t i = 0; i < b.size(); ++i) {
+      for (int64_t k = 0; k < m.numel(); ++k) m[k] += b.images[i * m.numel() + k];
+    }
+    for (int64_t k = 0; k < m.numel(); ++k) m[k] /= static_cast<float>(b.size());
+    return m;
+  };
+  const Tensor m0 = mean_image(0), m1 = mean_image(1), m2 = mean_image(2);
+  const auto dist = [](const Tensor& a, const Tensor& b) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_GT(dist(m0, m1), 1.0);
+  EXPECT_GT(dist(m0, m2), 1.0);
+  EXPECT_GT(dist(m1, m2), 1.0);
+}
+
+TEST(SyntheticTest, ConfigValidation) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_THROW(make_synthetic_cifar(cfg), std::invalid_argument);
+  cfg = SyntheticCifarConfig{};
+  cfg.image_size = 2;
+  EXPECT_THROW(make_synthetic_cifar(cfg), std::invalid_argument);
+}
+
+TEST(SyntheticTest, Presets) {
+  EXPECT_EQ(synth_cifar10_config().num_classes, 10);
+  EXPECT_EQ(synth_cifar100_config().num_classes, 100);
+}
+
+TEST(DataLoaderTest, CoversEpochExactlyOnce) {
+  const Dataset d = tiny_dataset();
+  DataLoader loader(d, {.batch_size = 4, .shuffle = true, .augment = false}, Rng(3));
+  std::multiset<float> seen;
+  Batch b;
+  int64_t total = 0;
+  while (loader.next(b)) {
+    total += b.size();
+    for (int64_t i = 0; i < b.size(); ++i) seen.insert(b.images[i * 4]);  // first pixel ids row
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(loader.batches_per_epoch(), 2);
+  // Next epoch works after reset.
+  loader.reset();
+  EXPECT_TRUE(loader.next(b));
+}
+
+TEST(DataLoaderTest, AugmentPreservesShapeAndLabels) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 4;
+  cfg.image_size = 8;
+  const SyntheticCifar s = make_synthetic_cifar(cfg);
+  DataLoader loader(s.train, {.batch_size = 8, .shuffle = false, .augment = true}, Rng(5));
+  Batch b;
+  ASSERT_TRUE(loader.next(b));
+  EXPECT_EQ(b.images.shape(), (Shape{8, 3, 8, 8}));
+  EXPECT_EQ(b.labels.size(), 8u);
+}
+
+TEST(DataLoaderTest, RejectsBadBatchSize) {
+  const Dataset d = tiny_dataset();
+  EXPECT_THROW(DataLoader(d, {.batch_size = 0}, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capr::data

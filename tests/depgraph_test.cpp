@@ -1,0 +1,122 @@
+// The automatic channel-dependency analysis must reproduce the builders'
+// hand annotations on every architecture, and refuse unsafe graphs.
+#include "nn/depgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "models/builders.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace capr::nn {
+namespace {
+
+models::BuildConfig tiny_cfg() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25f;
+  return cfg;
+}
+
+class DeriveSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeriveSweep, MatchesBuilderAnnotations) {
+  Model m = models::make_model(GetParam(), tiny_cfg());
+  const std::vector<PrunableUnit> derived = derive_units(*m.net, m.input_shape);
+  ASSERT_EQ(derived.size(), m.units.size());
+  for (size_t u = 0; u < derived.size(); ++u) {
+    EXPECT_EQ(derived[u].conv, m.units[u].conv) << "unit " << u;
+    EXPECT_EQ(derived[u].bn, m.units[u].bn) << "unit " << u;
+    EXPECT_EQ(derived[u].score_point, m.units[u].score_point) << "unit " << u;
+    ASSERT_EQ(derived[u].consumers.size(), m.units[u].consumers.size()) << "unit " << u;
+    for (size_t c = 0; c < derived[u].consumers.size(); ++c) {
+      EXPECT_EQ(derived[u].consumers[c].conv, m.units[u].consumers[c].conv);
+      EXPECT_EQ(derived[u].consumers[c].linear, m.units[u].consumers[c].linear);
+      EXPECT_EQ(derived[u].consumers[c].spatial, m.units[u].consumers[c].spatial);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, DeriveSweep,
+                         ::testing::Values("tiny", "vgg11", "vgg13", "vgg16", "vgg19", "resnet20",
+                                           "resnet32", "resnet44", "resnet56"));
+
+TEST(DeriveTest, AnnotateModelReplacesUnits) {
+  Model m = models::make_vgg16(tiny_cfg());
+  m.units.clear();
+  annotate_model(m);
+  EXPECT_EQ(m.units.size(), 13u);
+}
+
+TEST(DeriveTest, FlattenLinearGetsSpatialFactor) {
+  // conv -> relu -> flatten -> linear: the linear consumes channel blocks
+  // of H*W features.
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.num_classes = 2;
+  m.net = std::make_unique<Sequential>();
+  auto* conv = m.net->add(std::make_unique<Conv2d>(1, 3, 3, 1, 1, false));
+  conv->set_name("c");
+  m.net->add(std::make_unique<ReLU>());
+  m.net->add(std::make_unique<Flatten>());
+  auto* fc = m.net->add(std::make_unique<Linear>(3 * 16, 2));
+  fc->set_name("fc");
+  const auto units = derive_units(*m.net, m.input_shape);
+  ASSERT_EQ(units.size(), 1u);
+  ASSERT_EQ(units[0].consumers.size(), 1u);
+  EXPECT_EQ(units[0].consumers[0].linear, fc);
+  EXPECT_EQ(units[0].consumers[0].spatial, 16);
+}
+
+TEST(DeriveTest, TrailingConvIsNotPrunable) {
+  // A conv with no downstream consumer cannot be pruned safely.
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  EXPECT_TRUE(derive_units(*m.net, m.input_shape).empty());
+}
+
+TEST(DeriveTest, DropoutAndLeakyReluAreTransparent) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  auto* c1 = m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  m.net->add(std::make_unique<Dropout>(0.5f));
+  m.net->add(std::make_unique<LeakyReLU>(0.1f));
+  auto* c2 = m.net->add(std::make_unique<Conv2d>(2, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  const auto units = derive_units(*m.net, m.input_shape);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].conv, c1);
+  EXPECT_EQ(units[0].consumers[0].conv, c2);
+}
+
+TEST(DeriveTest, LinearWithoutFlattenRefused) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<Linear>(32, 2));
+  EXPECT_THROW(derive_units(*m.net, m.input_shape), std::logic_error);
+}
+
+TEST(DeriveTest, DerivedUnitsSurviveSurgeryRoundTrip) {
+  // Derived units must be as operable as builder units: prune through
+  // them and keep the forward legal.
+  Model m = models::make_vgg16(tiny_cfg());
+  annotate_model(m);
+  m.units[3].conv->remove_out_channels({0});
+  if (m.units[3].bn != nullptr) m.units[3].bn->remove_channels({0});
+  for (auto& c : m.units[3].consumers) {
+    if (c.conv != nullptr) c.conv->remove_in_channels({0});
+  }
+  const Tensor x({2, 3, 8, 8}, 0.5f);
+  EXPECT_NO_THROW(m.forward(x, false));
+}
+
+}  // namespace
+}  // namespace capr::nn

@@ -1,0 +1,183 @@
+// Tests for Dropout, LeakyReLU, AvgPool2d, Adam and LR schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dropout.h"
+#include "nn/schedulers.h"
+#include "nn/trainer.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "test_util.h"
+
+namespace capr::nn {
+namespace {
+
+using capr::testing::random_tensor;
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout drop(0.5f);
+  const Tensor x = random_tensor({2, 8}, 1);
+  EXPECT_TRUE(drop.forward(x, false).allclose(x, 0.0f));
+}
+
+TEST(DropoutTest, TrainZeroesApproximatelyP) {
+  Dropout drop(0.3f);
+  Tensor x({1, 10000}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+    sum += y[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.02);
+  EXPECT_NEAR(sum / y.numel(), 1.0, 0.03);  // expectation preserved
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop(0.5f);
+  const Tensor x = random_tensor({1, 100}, 2);
+  const Tensor y = drop.forward(x, true);
+  const Tensor g = drop.backward(Tensor({1, 100}, 1.0f));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      EXPECT_EQ(g[i], 0.0f);
+    } else {
+      EXPECT_NEAR(g[i], 2.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(DropoutTest, Validation) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0f));
+}
+
+TEST(LeakyReLUTest, ForwardAndBackward) {
+  LeakyReLU lrelu(0.1f);
+  const Tensor x = Tensor::from({1, 4}, {-2, -1, 1, 2});
+  const Tensor y = lrelu.forward(x, true);
+  EXPECT_TRUE(y.allclose(Tensor::from({1, 4}, {-0.2f, -0.1f, 1.0f, 2.0f})));
+  const Tensor g = lrelu.backward(Tensor({1, 4}, 1.0f));
+  EXPECT_TRUE(g.allclose(Tensor::from({1, 4}, {0.1f, 0.1f, 1.0f, 1.0f})));
+}
+
+TEST(AvgPoolTest, ForwardAveragesWindows) {
+  AvgPool2d pool(2);
+  const Tensor x = Tensor::from({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsGradientEvenly) {
+  AvgPool2d pool(2);
+  pool.forward(Tensor({1, 1, 4, 4}, 1.0f), true);
+  const Tensor g = pool.backward(Tensor({1, 1, 2, 2}, 4.0f));
+  for (int64_t i = 0; i < g.numel(); ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(AvgPoolTest, NumericalGradient) {
+  AvgPool2d pool(2);
+  Tensor x = random_tensor({1, 2, 4, 4}, 3);
+  const Tensor w = random_tensor({1, 2, 2, 2}, 4, 0.1f, 1.0f);
+  pool.forward(x, true);
+  const Tensor gx = pool.backward(w);
+  for (int64_t i = 0; i < x.numel(); i += 3) {
+    const float num = capr::testing::numerical_grad(
+        [&] {
+          const Tensor y = pool.forward(x, true);
+          double acc = 0.0;
+          for (int64_t k = 0; k < y.numel(); ++k) acc += static_cast<double>(y[k]) * w[k];
+          return static_cast<float>(acc);
+        },
+        x[i]);
+    EXPECT_NEAR(gx[i], num, 1e-2f);
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimise f(w) = (w - 3)^2 with Adam; grad = 2(w - 3).
+  Param p("w", {1});
+  p.value[0] = 0.0f;
+  Adam adam({.lr = 0.1f});
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    adam.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, SurvivesShapeChangeAndReset) {
+  Param p("w", {2});
+  p.grad = Tensor({2}, 1.0f);
+  Adam adam({.lr = 0.01f});
+  adam.step({&p});
+  p.assign(Tensor({3}));
+  p.grad = Tensor({3}, 1.0f);
+  EXPECT_NO_THROW(adam.step({&p}));
+  adam.reset_state();
+  EXPECT_NO_THROW(adam.step({&p}));
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Param p("w", {1});
+  p.value[0] = 5.0f;
+  p.grad[0] = 0.0f;
+  Adam adam({.lr = 0.1f, .weight_decay = 0.5f});
+  adam.step({&p});
+  EXPECT_LT(p.value[0], 5.0f);
+}
+
+TEST(StepLrTest, DecaysAtBoundaries) {
+  StepLr sched(3, 0.1f);
+  EXPECT_FLOAT_EQ(sched.multiplier(0), 1.0f);
+  EXPECT_FLOAT_EQ(sched.multiplier(2), 1.0f);
+  EXPECT_FLOAT_EQ(sched.multiplier(3), 0.1f);
+  EXPECT_NEAR(sched.multiplier(6), 0.01f, 1e-6f);
+  EXPECT_THROW(sched.multiplier(-1), std::invalid_argument);
+  EXPECT_THROW(StepLr(0, 0.5f), std::invalid_argument);
+}
+
+TEST(CosineLrTest, AnnealsFromOneToMin) {
+  CosineLr sched(10, 0.1f);
+  EXPECT_FLOAT_EQ(sched.multiplier(0), 1.0f);
+  EXPECT_NEAR(sched.multiplier(5), 0.55f, 1e-5f);  // halfway: (1+0.1)/2
+  EXPECT_NEAR(sched.multiplier(10), 0.1f, 1e-5f);
+  EXPECT_NEAR(sched.multiplier(99), 0.1f, 1e-5f);  // clamped past the end
+  EXPECT_THROW(CosineLr(0), std::invalid_argument);
+}
+
+TEST(SchedulerTest, TrainerUsesSchedule) {
+  // Train two identical models, one with a cosine schedule driven to
+  // lr ~ 0 — the schedule must change the outcome vs constant lr.
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 3;
+  mcfg.input_size = 8;
+  data::SyntheticCifarConfig dcfg;
+  dcfg.num_classes = 3;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 4;
+  dcfg.image_size = 8;
+  const auto data = data::make_synthetic_cifar(dcfg);
+
+  Model a = models::make_tiny_cnn(mcfg);
+  Model b = models::make_tiny_cnn(mcfg);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 8;
+  train(a, data.train, cfg);
+  CosineLr sched(4, 0.0f);
+  cfg.lr_schedule = &sched;
+  train(b, data.train, cfg);
+  const Tensor x = data.test.slice(0, 4).images;
+  EXPECT_FALSE(a.forward(x, false).allclose(b.forward(x, false), 1e-4f));
+}
+
+}  // namespace
+}  // namespace capr::nn

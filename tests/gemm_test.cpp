@@ -1,0 +1,91 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace capr {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  Tensor a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from({2, 2}, {5, 6, 7, 8});
+  EXPECT_TRUE(matmul(a, b).allclose(Tensor::from({2, 2}, {19, 22, 43, 50})));
+}
+
+TEST(GemmTest, IdentityIsNoop) {
+  Tensor a = testing::random_tensor({5, 5}, 11);
+  Tensor eye({5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye[i * 5 + i] = 1.0f;
+  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-5f));
+  EXPECT_TRUE(matmul(eye, a).allclose(a, 1e-5f));
+}
+
+TEST(GemmTest, InnerDimMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(Tensor({2, 3}), Tensor({4, 4})), std::invalid_argument);
+  EXPECT_THROW(matmul_tn(Tensor({3, 2}), Tensor({4, 4})), std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor({6}), Tensor({6})), std::invalid_argument);
+}
+
+TEST(GemmTest, AccumulateFlag) {
+  Tensor a = Tensor::from({1, 2}, {1, 1});
+  Tensor b = Tensor::from({2, 1}, {2, 3});
+  Tensor c({1, 1});
+  c[0] = 100.0f;
+  gemm(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 105.0f);
+  gemm(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c[0], 5.0f);
+}
+
+class GemmShapeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = testing::random_tensor({m, k}, static_cast<uint64_t>(m * 100 + k));
+  Tensor b = testing::random_tensor({k, n}, static_cast<uint64_t>(k * 100 + n));
+  EXPECT_TRUE(matmul(a, b).allclose(naive_matmul(a, b), 1e-3f));
+}
+
+TEST_P(GemmShapeTest, VariantsAgree) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = testing::random_tensor({m, k}, 1);
+  Tensor b = testing::random_tensor({k, n}, 2);
+  const Tensor want = matmul(a, b);
+  // A * B == A *_nt (B^T) == (A^T) *_tn B
+  Tensor bt({n, k});
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < n; ++j) bt[j * k + i] = b[i * n + j];
+  }
+  EXPECT_TRUE(matmul_nt(a, bt).allclose(want, 1e-3f));
+  Tensor at({k, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) at[j * m + i] = a[i * k + j];
+  }
+  EXPECT_TRUE(matmul_tn(at, b).allclose(want, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 2},
+                                           std::tuple{8, 8, 8}, std::tuple{17, 31, 13},
+                                           std::tuple{64, 150, 33}, std::tuple{2, 200, 2},
+                                           std::tuple{129, 7, 5}));
+
+}  // namespace
+}  // namespace capr

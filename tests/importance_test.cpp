@@ -1,0 +1,188 @@
+// Tests for the class-aware importance evaluation (Eqs. 3-7).
+#include "core/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+struct Fixture {
+  nn::Model model;
+  data::SyntheticCifar data;
+
+  Fixture() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 3;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.25f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 3;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 4;
+    dcfg.image_size = 8;
+    data = data::make_synthetic_cifar(dcfg);
+  }
+};
+
+TEST(ImportanceTest, ScoresHaveExpectedShapeAndRange) {
+  Fixture f;
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 4});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  ASSERT_EQ(res.units.size(), 2u);
+  EXPECT_EQ(res.num_classes, 3);
+  for (const UnitScores& u : res.units) {
+    EXPECT_EQ(u.total.size(),
+              static_cast<size_t>(f.model.units[u.unit_index].conv->out_channels()));
+    ASSERT_EQ(u.per_class.size(), 3u);
+    for (size_t f_idx = 0; f_idx < u.total.size(); ++f_idx) {
+      EXPECT_GE(u.total[f_idx], 0.0f);
+      EXPECT_LE(u.total[f_idx], 3.0f + 1e-5f);
+      float sum = 0.0f;
+      for (const auto& cls : u.per_class) {
+        EXPECT_GE(cls[f_idx], 0.0f);
+        EXPECT_LE(cls[f_idx], 1.0f + 1e-6f);
+        sum += cls[f_idx];
+      }
+      EXPECT_NEAR(u.total[f_idx], sum, 1e-5f);
+    }
+  }
+}
+
+TEST(ImportanceTest, DeadFilterScoresZero) {
+  Fixture f;
+  // Silence filter 1 of conv0 entirely.
+  nn::PrunableUnit& unit = f.model.units[0];
+  const int64_t fsz = unit.conv->in_channels() * unit.conv->kernel() * unit.conv->kernel();
+  for (int64_t i = 0; i < fsz; ++i) unit.conv->weight().value[fsz + i] = 0.0f;
+  unit.bn->gamma().value[1] = 0.0f;
+  unit.bn->beta().value[1] = 0.0f;
+  unit.bn->running_mean()[1] = 0.0f;
+
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 4});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  EXPECT_FLOAT_EQ(res.units[0].total[1], 0.0f);
+}
+
+TEST(ImportanceTest, TaylorAndExactAgreeOnRanking) {
+  Fixture f;
+  Rng rng(7);
+  const data::Batch batch = f.data.train.sample_class(0, 3, rng);
+  ImportanceEvaluator eval;
+  const Tensor taylor = eval.taylor_activation_scores(f.model, 0, batch);
+  const Tensor exact = eval.exact_activation_scores(f.model, 0, batch);
+  ASSERT_EQ(taylor.shape(), exact.shape());
+  // Spearman-style check: correlate the two scores over all activations.
+  const int64_t n = taylor.numel();
+  double mt = 0.0, me = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    mt += taylor[i];
+    me += exact[i];
+  }
+  mt /= n;
+  me /= n;
+  double cov = 0.0, vt = 0.0, ve = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    cov += (taylor[i] - mt) * (exact[i] - me);
+    vt += (taylor[i] - mt) * (taylor[i] - mt);
+    ve += (exact[i] - me) * (exact[i] - me);
+  }
+  const double corr = cov / (std::sqrt(vt) * std::sqrt(ve) + 1e-12);
+  EXPECT_GT(corr, 0.7) << "first-order Taylor should track the exact zero-out deltas";
+}
+
+TEST(ImportanceTest, ExactModeEvaluateMatchesConfig) {
+  Fixture f;
+  ImportanceEvaluator eval(
+      ImportanceConfig{.images_per_class = 2, .mode = ScoreMode::kExactZeroOut});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  EXPECT_EQ(res.units.size(), 2u);
+  for (const UnitScores& u : res.units) {
+    for (float s : u.total) {
+      EXPECT_GE(s, 0.0f);
+      EXPECT_LE(s, 3.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(ImportanceTest, MeanAggregateIsBelowMax) {
+  Fixture f;
+  ImportanceEvaluator max_eval(
+      ImportanceConfig{.images_per_class = 4, .aggregate = SpatialAggregate::kMax});
+  ImportanceEvaluator mean_eval(
+      ImportanceConfig{.images_per_class = 4, .aggregate = SpatialAggregate::kMean});
+  const auto rmax = max_eval.evaluate(f.model, f.data.train);
+  const auto rmean = mean_eval.evaluate(f.model, f.data.train);
+  for (size_t u = 0; u < rmax.units.size(); ++u) {
+    for (size_t i = 0; i < rmax.units[u].total.size(); ++i) {
+      EXPECT_LE(rmean.units[u].total[i], rmax.units[u].total[i] + 1e-5f);
+    }
+  }
+}
+
+TEST(ImportanceTest, LargeTauKillsAllScores) {
+  Fixture f;
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 2, .tau = 1e12f});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  for (const UnitScores& u : res.units) {
+    for (float s : u.total) EXPECT_FLOAT_EQ(s, 0.0f);
+  }
+}
+
+TEST(ImportanceTest, CaptureIsReleasedAfterEvaluation) {
+  Fixture f;
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 2});
+  eval.evaluate(f.model, f.data.train);
+  for (const nn::PrunableUnit& u : f.model.units) {
+    EXPECT_FALSE(u.score_point->instrument().capture);
+    EXPECT_TRUE(u.score_point->instrument().captured_output.empty());
+  }
+}
+
+TEST(ImportanceTest, DeterministicAcrossCalls) {
+  Fixture f;
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 3});
+  const auto a = eval.evaluate(f.model, f.data.train);
+  const auto b = eval.evaluate(f.model, f.data.train);
+  for (size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].total, b.units[u].total);
+  }
+}
+
+TEST(ImportanceTest, HelperAccessors) {
+  Fixture f;
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 2});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  const auto all = res.all_scores();
+  size_t expect = 0;
+  for (const auto& u : res.units) expect += u.total.size();
+  EXPECT_EQ(all.size(), expect);
+  const auto means = res.mean_per_unit();
+  ASSERT_EQ(means.size(), res.units.size());
+  const auto& t0 = res.units[0].total;
+  const float want =
+      std::accumulate(t0.begin(), t0.end(), 0.0f) / static_cast<float>(t0.size());
+  EXPECT_NEAR(means[0], want, 1e-5f);
+}
+
+TEST(ImportanceTest, ErrorsOnBadInput) {
+  Fixture f;
+  ImportanceEvaluator eval;
+  Rng rng(1);
+  const data::Batch batch = f.data.train.sample_class(0, 2, rng);
+  EXPECT_THROW(eval.taylor_activation_scores(f.model, 5, batch), std::out_of_range);
+  EXPECT_THROW(eval.exact_activation_scores(f.model, 5, batch), std::out_of_range);
+  nn::Model no_units;
+  no_units.net = std::make_unique<nn::Sequential>();
+  EXPECT_THROW(eval.evaluate(no_units, f.data.train), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capr::core

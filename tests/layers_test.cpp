@@ -1,0 +1,305 @@
+// Numerical gradient checks and behavioural tests for every layer.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace capr::nn {
+namespace {
+
+using capr::testing::max_abs_diff;
+using capr::testing::random_tensor;
+
+/// Scalar objective sum(layer(x) * w) with fixed random weights w —
+/// its analytic input gradient is layer.backward(w).
+float objective(Layer& layer, const Tensor& x, const Tensor& w, bool training = true) {
+  const Tensor y = layer.forward(x, training);
+  double acc = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * w[i];
+  return static_cast<float>(acc);
+}
+
+/// Checks analytic input gradients and (when present) parameter
+/// gradients against central finite differences.
+void check_gradients(Layer& layer, Tensor x, const Shape& out_shape, float tol = 2e-2f,
+                     bool training = true) {
+  const Tensor w = random_tensor(out_shape, 555, 0.1f, 1.0f);
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->zero_grad();
+  layer.forward(x, training);
+  const Tensor gx = layer.backward(w);
+
+  // Numerical input gradient (spot-check a subset for speed).
+  const int64_t stride = std::max<int64_t>(1, x.numel() / 23);
+  for (int64_t i = 0; i < x.numel(); i += stride) {
+    const float num = capr::testing::numerical_grad(
+        [&] { return objective(layer, x, w, training); }, x[i]);
+    EXPECT_NEAR(gx[i], num, tol) << "input grad at " << i;
+  }
+
+  // Numerical parameter gradients.
+  for (Param* p : layer.params()) {
+    const int64_t pstride = std::max<int64_t>(1, p->value.numel() / 17);
+    for (int64_t i = 0; i < p->value.numel(); i += pstride) {
+      const float num = capr::testing::numerical_grad(
+          [&] { return objective(layer, x, w, training); }, p->value[i]);
+      EXPECT_NEAR(p->grad[i], num, tol) << p->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(Conv2dTest, ForwardMatchesHandComputed) {
+  Conv2d conv(1, 1, 2, 1, 0, true);
+  conv.weight().value = Tensor::from({1, 1, 2, 2}, {1, 2, 3, 4});
+  conv.bias().value = Tensor::from({10});
+  Tensor x = Tensor::from({1, 1, 2, 2}, {1, 1, 1, 1});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 20.0f);  // 1+2+3+4 + bias 10
+}
+
+TEST(Conv2dTest, GradientsMatchNumerical) {
+  Conv2d conv(2, 3, 3, 1, 1, true);
+  Rng rng(3);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  rng.fill_normal(conv.bias().value, 0.0f, 0.5f);
+  check_gradients(conv, random_tensor({2, 2, 5, 5}, 42), {2, 3, 5, 5});
+}
+
+TEST(Conv2dTest, StridedGradients) {
+  Conv2d conv(1, 2, 3, 2, 1, false);
+  Rng rng(4);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  check_gradients(conv, random_tensor({1, 1, 7, 7}, 43), {1, 2, 4, 4});
+}
+
+TEST(Conv2dTest, InputValidation) {
+  Conv2d conv(3, 4, 3, 1, 1, false);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false), std::invalid_argument);
+  EXPECT_THROW(conv.forward(Tensor({3, 8, 8}), false), std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor({1, 4, 8, 8})), std::logic_error);
+  EXPECT_THROW(Conv2d(0, 1, 3, 1, 1, false), std::invalid_argument);
+}
+
+TEST(Conv2dTest, RemoveOutChannels) {
+  Conv2d conv(2, 4, 3, 1, 1, true);
+  Rng rng(5);
+  rng.fill_normal(conv.weight().value, 0.0f, 1.0f);
+  const Tensor before = conv.weight().value;
+  conv.remove_out_channels({1, 3});
+  EXPECT_EQ(conv.out_channels(), 2);
+  EXPECT_EQ(conv.weight().value.shape(), (Shape{2, 2, 3, 3}));
+  // Remaining filters are the old 0 and 2, data preserved.
+  for (int64_t i = 0; i < 18; ++i) {
+    EXPECT_EQ(conv.weight().value[i], before[i]);              // filter 0
+    EXPECT_EQ(conv.weight().value[18 + i], before[36 + i]);    // filter 2
+  }
+  EXPECT_THROW(conv.remove_out_channels({5}), std::out_of_range);
+  EXPECT_THROW(conv.remove_out_channels({0, 1}), std::invalid_argument);  // would empty
+}
+
+TEST(Conv2dTest, RemoveInChannels) {
+  Conv2d conv(3, 2, 1, 1, 0, false);
+  conv.weight().value = Tensor::from({2, 3, 1, 1}, {1, 2, 3, 4, 5, 6});
+  conv.remove_in_channels({1});
+  EXPECT_EQ(conv.in_channels(), 2);
+  EXPECT_TRUE(conv.weight().value.allclose(Tensor::from({2, 2, 1, 1}, {1, 3, 4, 6})));
+}
+
+TEST(LinearTest, ForwardMatchesHandComputed) {
+  Linear lin(2, 2);
+  lin.weight().value = Tensor::from({2, 2}, {1, 2, 3, 4});
+  lin.bias().value = Tensor::from({10, 20});
+  Tensor y = lin.forward(Tensor::from({1, 2}, {1, 1}), false);
+  EXPECT_TRUE(y.allclose(Tensor::from({1, 2}, {13, 27})));
+}
+
+TEST(LinearTest, GradientsMatchNumerical) {
+  Linear lin(5, 4);
+  Rng rng(6);
+  rng.fill_normal(lin.weight().value, 0.0f, 0.5f);
+  rng.fill_normal(lin.bias().value, 0.0f, 0.5f);
+  check_gradients(lin, random_tensor({3, 5}, 44), {3, 4});
+}
+
+TEST(LinearTest, RemoveInFeatures) {
+  Linear lin(4, 2);
+  lin.weight().value = Tensor::from({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  lin.remove_in_features({0, 2});
+  EXPECT_EQ(lin.in_features(), 2);
+  EXPECT_TRUE(lin.weight().value.allclose(Tensor::from({2, 2}, {2, 4, 6, 8})));
+  EXPECT_THROW(lin.remove_in_features({0, 1}), std::invalid_argument);
+}
+
+TEST(BatchNormTest, NormalisesTrainingBatch) {
+  BatchNorm2d bn(2);
+  Tensor x = random_tensor({4, 2, 3, 3}, 45, -5.0f, 5.0f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t n = 0; n < 4; ++n) {
+      for (int64_t k = 0; k < 9; ++k) {
+        const float v = y[(n * 2 + c) * 9 + k];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(sum / 36.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 36.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, TrainingGradientsMatchNumerical) {
+  BatchNorm2d bn(3);
+  Rng rng(7);
+  rng.fill_uniform(bn.gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.beta().value, -0.5f, 0.5f);
+  check_gradients(bn, random_tensor({2, 3, 4, 4}, 46), {2, 3, 4, 4}, 3e-2f);
+}
+
+TEST(BatchNormTest, EvalGradientsMatchNumerical) {
+  BatchNorm2d bn(2);
+  Rng rng(8);
+  rng.fill_uniform(bn.gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.running_var(), 0.5f, 2.0f);
+  rng.fill_uniform(bn.running_mean(), -1.0f, 1.0f);
+  check_gradients(bn, random_tensor({2, 2, 3, 3}, 47), {2, 2, 3, 3}, 2e-2f,
+                  /*training=*/false);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 2.0f;
+  bn.running_var()[0] = 4.0f;
+  Tensor x({1, 1, 1, 1}, 4.0f);
+  const Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(y[0], (4.0f - 2.0f) / 2.0f, 1e-4f);
+}
+
+TEST(BatchNormTest, RemoveChannels) {
+  BatchNorm2d bn(3);
+  bn.gamma().value = Tensor::from({1, 2, 3});
+  bn.beta().value = Tensor::from({4, 5, 6});
+  bn.running_mean() = Tensor::from({7, 8, 9});
+  bn.running_var() = Tensor::from({10, 11, 12});
+  bn.remove_channels({1});
+  EXPECT_EQ(bn.channels(), 2);
+  EXPECT_TRUE(bn.gamma().value.allclose(Tensor::from({1, 3})));
+  EXPECT_TRUE(bn.running_var().allclose(Tensor::from({10, 12})));
+}
+
+TEST(ReLUTest, GradientsMatchNumerical) {
+  ReLU relu;
+  // Keep activations away from the kink for the finite-difference check.
+  Tensor x = random_tensor({2, 3, 4, 4}, 48);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.1f;
+  }
+  check_gradients(relu, x, {2, 3, 4, 4});
+}
+
+TEST(MaxPoolTest, ForwardAndRouting) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 7.0f));
+  EXPECT_TRUE(g.allclose(Tensor::from({1, 1, 2, 2}, {0, 7, 0, 0})));
+}
+
+TEST(MaxPoolTest, GradientsMatchNumerical) {
+  MaxPool2d pool(2);
+  // Distinct values avoid ties at the pooling argmax.
+  Tensor x({1, 2, 4, 4});
+  for (int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>((i * 37) % 101) / 10.0f;
+  check_gradients(pool, x, {1, 2, 2, 2});
+}
+
+TEST(GlobalAvgPoolTest, ForwardAndBackward) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::from({1, 2, 1, 2}, {2, 4, 10, 30});
+  Tensor y = gap.forward(x, true);
+  EXPECT_TRUE(y.allclose(Tensor::from({1, 2}, {3, 20})));
+  Tensor g = gap.backward(Tensor::from({1, 2}, {2, 4}));
+  EXPECT_TRUE(g.allclose(Tensor::from({1, 2, 1, 2}, {1, 1, 2, 2})));
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flat;
+  Tensor x = random_tensor({2, 3, 2, 2}, 49);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 12}));
+  Tensor g = flat.backward(y);
+  EXPECT_TRUE(g.allclose(x));
+}
+
+TEST(SequentialTest, ComposesAndBackprops) {
+  Sequential seq;
+  auto* conv = seq.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<GlobalAvgPool>());
+  Rng rng(10);
+  rng.fill_normal(conv->weight().value, 0.0f, 0.5f);
+  check_gradients(seq, random_tensor({2, 1, 4, 4}, 50), {2, 2});
+}
+
+TEST(BasicBlockTest, IdentityShortcutGradients) {
+  BasicBlock blk(3, 3, 1);
+  Rng rng(11);
+  rng.fill_normal(blk.conv1().weight().value, 0.0f, 0.4f);
+  rng.fill_normal(blk.conv2().weight().value, 0.0f, 0.4f);
+  EXPECT_FALSE(blk.has_projection());
+  check_gradients(blk, random_tensor({2, 3, 4, 4}, 51), {2, 3, 4, 4}, 4e-2f);
+}
+
+TEST(BasicBlockTest, ProjectionShortcutGradients) {
+  BasicBlock blk(2, 4, 2);
+  Rng rng(12);
+  rng.fill_normal(blk.conv1().weight().value, 0.0f, 0.4f);
+  rng.fill_normal(blk.conv2().weight().value, 0.0f, 0.4f);
+  rng.fill_normal(blk.proj_conv()->weight().value, 0.0f, 0.4f);
+  EXPECT_TRUE(blk.has_projection());
+  check_gradients(blk, random_tensor({2, 2, 4, 4}, 52), {2, 4, 2, 2}, 4e-2f);
+}
+
+TEST(InstrumentTest, ZeroFlatIndexIntervention) {
+  ReLU relu;
+  relu.instrument().zero_flat_index = 1;
+  Tensor y = relu.forward(Tensor::from({1, 1, 1, 3}, {1, 2, 3}), false);
+  EXPECT_TRUE(y.allclose(Tensor::from({1, 1, 1, 3}, {1, 0, 3})));
+  relu.instrument().zero_flat_index = 99;
+  EXPECT_THROW(relu.forward(Tensor({1, 1, 1, 3}), false), std::out_of_range);
+}
+
+TEST(InstrumentTest, ChannelScaleMasksChannels) {
+  ReLU relu;
+  relu.instrument().channel_scale = {1.0f, 0.0f};
+  Tensor x = Tensor::from({1, 2, 1, 2}, {1, 2, 3, 4});
+  Tensor y = relu.forward(x, false);
+  EXPECT_TRUE(y.allclose(Tensor::from({1, 2, 1, 2}, {1, 2, 0, 0})));
+  relu.instrument().channel_scale = {1.0f};  // wrong length
+  EXPECT_THROW(relu.forward(x, false), std::invalid_argument);
+}
+
+TEST(InstrumentTest, CaptureRecordsOutputAndGrad) {
+  ReLU relu;
+  relu.instrument().capture = true;
+  Tensor x = Tensor::from({1, 1, 1, 2}, {-1, 2});
+  relu.forward(x, true);
+  EXPECT_TRUE(relu.instrument().captured_output.allclose(Tensor::from({1, 1, 1, 2}, {0, 2})));
+  relu.backward(Tensor::from({1, 1, 1, 2}, {3, 4}));
+  EXPECT_TRUE(relu.instrument().captured_grad.allclose(Tensor::from({1, 1, 1, 2}, {3, 4})));
+}
+
+}  // namespace
+}  // namespace capr::nn

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "test_util.h"
+
+namespace capr::nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits = capr::testing::random_tensor({4, 7}, 60, -5.0f, 5.0f);
+  Tensor p = softmax(logits);
+  for (int64_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      row += p[i * 7 + j];
+      EXPECT_GT(p[i * 7 + j], 0.0f);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Tensor logits = Tensor::from({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({2, 4});  // all zeros -> uniform distribution
+  const float loss = ce.forward(logits, {0, 3});
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = Tensor::from({1, 3}, {20.0f, 0.0f, 0.0f});
+  EXPECT_LT(ce.forward(logits, {0}), 1e-4f);
+}
+
+TEST(CrossEntropyTest, BackwardMatchesNumerical) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = capr::testing::random_tensor({3, 5}, 61, -2.0f, 2.0f);
+  const std::vector<int64_t> labels{1, 4, 0};
+  ce.forward(logits, labels);
+  const Tensor grad = ce.backward();
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float num = capr::testing::numerical_grad(
+        [&] {
+          SoftmaxCrossEntropy fresh;
+          return fresh.forward(logits, labels);
+        },
+        logits[i]);
+    EXPECT_NEAR(grad[i], num, 2e-3f);
+  }
+}
+
+TEST(CrossEntropyTest, Validation) {
+  SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.forward(Tensor({2, 3}), {0}), std::invalid_argument);
+  EXPECT_THROW(ce.forward(Tensor({1, 3}), {3}), std::out_of_range);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), std::logic_error);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits = Tensor::from({3, 2}, {1, 0, 0, 1, 2, 1});
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.0f);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 0}), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(SgdTest, PlainStep) {
+  Param p("w", {2});
+  p.value = Tensor::from({1.0f, 2.0f});
+  p.grad = Tensor::from({0.5f, -0.5f});
+  SGD sgd({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  sgd.step({&p});
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+  EXPECT_NEAR(p.value[1], 2.05f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayAddsL2Pull) {
+  Param p("w", {1});
+  p.value = Tensor::from({2.0f});
+  p.grad = Tensor::from({0.0f});
+  SGD sgd({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.1f});
+  sgd.step({&p});
+  // effective grad = 0 + 0.1*2 = 0.2 -> w = 2 - 0.1*0.2
+  EXPECT_NEAR(p.value[0], 1.98f, 1e-6f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Param p("w", {1});
+  p.value = Tensor::from({0.0f});
+  SGD sgd({.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad = Tensor::from({1.0f});
+  sgd.step({&p});  // v = 1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6f);
+  p.grad = Tensor::from({1.0f});
+  sgd.step({&p});  // v = 1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+  sgd.reset_state();
+  p.grad = Tensor::from({1.0f});
+  sgd.step({&p});  // v = 1 again
+  EXPECT_NEAR(p.value[0], -3.5f, 1e-6f);
+}
+
+TEST(SgdTest, SurvivesShapeChange) {
+  Param p("w", {2});
+  p.grad = Tensor({2}, 1.0f);
+  SGD sgd({.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  sgd.step({&p});
+  p.assign(Tensor({3}));  // surgery-style reallocation
+  p.grad = Tensor({3}, 1.0f);
+  EXPECT_NO_THROW(sgd.step({&p}));
+  EXPECT_EQ(p.value.numel(), 3);
+}
+
+TEST(SgdTest, ZeroGrad) {
+  Param p("w", {2});
+  p.grad = Tensor::from({3.0f, 4.0f});
+  SGD::zero_grad({&p});
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.grad[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace capr::nn

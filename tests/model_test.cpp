@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/builders.h"
+#include "tensor/serialize.h"
+#include "test_util.h"
+
+namespace capr::models {
+namespace {
+
+using nn::Model;
+
+BuildConfig tiny_cfg() {
+  BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25f;
+  return cfg;
+}
+
+TEST(BuilderTest, ScaleChannelsFloorsAtFour) {
+  EXPECT_EQ(scale_channels(64, 1.0f), 64);
+  EXPECT_EQ(scale_channels(64, 0.25f), 16);
+  EXPECT_EQ(scale_channels(16, 0.1f), 4);
+  EXPECT_EQ(scale_channels(4, 0.01f), 4);
+}
+
+TEST(BuilderTest, UnknownArchThrows) {
+  EXPECT_THROW(make_model("alexnet", tiny_cfg()), std::invalid_argument);
+}
+
+class ArchSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArchSweep, ForwardProducesLogits) {
+  Model m = make_model(GetParam(), tiny_cfg());
+  EXPECT_EQ(m.arch, GetParam());
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 70);
+  const Tensor logits = m.forward(x, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 4}));
+  for (int64_t i = 0; i < logits.numel(); ++i) EXPECT_FALSE(std::isnan(logits[i]));
+}
+
+TEST_P(ArchSweep, BackwardRuns) {
+  Model m = make_model(GetParam(), tiny_cfg());
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 71);
+  const Tensor logits = m.forward(x, true);
+  EXPECT_NO_THROW(m.backward(Tensor(logits.shape(), 0.1f)));
+}
+
+TEST_P(ArchSweep, LayerNamesAreUnique) {
+  Model m = make_model(GetParam(), tiny_cfg());
+  std::set<std::string> names;
+  m.net->visit([&names](nn::Layer& l) {
+    if (!l.params().empty()) {
+      EXPECT_FALSE(l.name().empty()) << l.kind() << " missing a name";
+      EXPECT_TRUE(names.insert(l.name()).second) << "duplicate name " << l.name();
+    }
+  });
+}
+
+TEST_P(ArchSweep, UnitMetadataIsConsistent) {
+  Model m = make_model(GetParam(), tiny_cfg());
+  EXPECT_FALSE(m.units.empty());
+  for (const nn::PrunableUnit& u : m.units) {
+    ASSERT_NE(u.conv, nullptr);
+    ASSERT_NE(u.score_point, nullptr);
+    if (u.bn != nullptr) {
+      EXPECT_EQ(u.bn->channels(), u.conv->out_channels());
+    }
+    ASSERT_FALSE(u.consumers.empty());
+    for (const nn::ConsumerRef& c : u.consumers) {
+      if (c.conv != nullptr) {
+        EXPECT_EQ(c.conv->in_channels(), u.conv->out_channels());
+      } else {
+        ASSERT_NE(c.linear, nullptr);
+        EXPECT_EQ(c.linear->in_features(), u.conv->out_channels() * c.spatial);
+      }
+    }
+  }
+}
+
+TEST_P(ArchSweep, StateDictRoundTripsThroughDisk) {
+  BuildConfig cfg = tiny_cfg();
+  Model m = make_model(GetParam(), cfg);
+  const Tensor x = capr::testing::random_tensor({1, 3, 8, 8}, 72);
+  const Tensor logits_before = m.forward(x, false);
+
+  const std::string path = ::testing::TempDir() + "capr_" + GetParam() + ".ckpt";
+  save_tensor_map(path, m.state_dict());
+
+  cfg.init_seed = 999;  // different random init
+  Model fresh = make_model(GetParam(), cfg);
+  EXPECT_FALSE(fresh.forward(x, false).allclose(logits_before, 1e-4f));
+  fresh.load_state_dict(load_tensor_map(path));
+  EXPECT_TRUE(fresh.forward(x, false).allclose(logits_before, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, ArchSweep,
+                         ::testing::Values("tiny", "vgg11", "vgg13", "vgg16", "vgg19", "resnet20",
+                                           "resnet32", "resnet44", "resnet56"));
+
+TEST(BuilderTest, Vgg16HasThirteenPrunableConvs) {
+  const Model m = make_vgg16(tiny_cfg());
+  EXPECT_EQ(m.units.size(), 13u);
+}
+
+TEST(BuilderTest, Vgg19HasSixteenPrunableConvs) {
+  const Model m = make_vgg19(tiny_cfg());
+  EXPECT_EQ(m.units.size(), 16u);
+}
+
+TEST(BuilderTest, ResnetUnitCounts) {
+  EXPECT_EQ(make_resnet20(tiny_cfg()).units.size(), 9u);   // 3 stages x 3 blocks
+  EXPECT_EQ(make_resnet56(tiny_cfg()).units.size(), 27u);  // 3 stages x 9 blocks
+}
+
+TEST(BuilderTest, FullWidthShapesMatchPaperArchitecture) {
+  BuildConfig cfg;
+  cfg.num_classes = 10;
+  cfg.input_size = 32;
+  cfg.width_mult = 1.0f;
+  Model vgg = make_vgg16(cfg);
+  EXPECT_EQ(vgg.units.front().conv->out_channels(), 64);
+  EXPECT_EQ(vgg.units.back().conv->out_channels(), 512);
+  Model rn = make_resnet56(cfg);
+  EXPECT_EQ(rn.units.front().conv->out_channels(), 16);
+  EXPECT_EQ(rn.units.back().conv->out_channels(), 64);
+}
+
+TEST(BuilderTest, LoadStateDictRejectsMismatch) {
+  Model m = make_tiny_cnn(tiny_cfg());
+  auto dict = m.state_dict();
+  dict.erase(dict.begin());
+  EXPECT_THROW(m.load_state_dict(dict), std::runtime_error);
+  auto dict2 = m.state_dict();
+  dict2["bogus.key"] = Tensor({1});
+  EXPECT_THROW(m.load_state_dict(dict2), std::runtime_error);
+}
+
+TEST(BuilderTest, FindUnit) {
+  Model m = make_tiny_cnn(tiny_cfg());
+  EXPECT_EQ(m.find_unit(m.units[1].conv), &m.units[1]);
+  nn::Conv2d other(1, 1, 1, 1, 0, false);
+  EXPECT_EQ(m.find_unit(&other), nullptr);
+}
+
+}  // namespace
+}  // namespace capr::models

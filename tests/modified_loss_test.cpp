@@ -1,0 +1,166 @@
+// Tests for the paper's Eq. 1/2 cost terms, including the Fig. 2
+// weight-reshaping (Toeplitz operator) correctness.
+#include "core/modified_loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/builders.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+using capr::testing::numerical_grad;
+using capr::testing::random_tensor;
+
+TEST(ToeplitzTest, PaperFigure2GeometryAndValues) {
+  // Fig. 2: filter 1x2x2 over a 3x3 input, stride 1 -> 4x9 matrix.
+  nn::Conv2d conv(1, 1, 2, 1, 0, false);
+  conv.weight().value = Tensor::from({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor t = toeplitz_matrix(conv, 3, 3);
+  EXPECT_EQ(t.shape(), (Shape{4, 9}));
+  // Row 0: window at (0,0) touches inputs 0,1,3,4.
+  EXPECT_TRUE(t.reshape({36}).allclose(Tensor::from({36}, {
+      1, 2, 0, 3, 4, 0, 0, 0, 0,   // window (0,0)
+      0, 1, 2, 0, 3, 4, 0, 0, 0,   // window (0,1): offset one column
+      0, 0, 0, 1, 2, 0, 3, 4, 0,   // window (1,0)
+      0, 0, 0, 0, 1, 2, 0, 3, 4})));  // window (1,1)
+}
+
+TEST(ToeplitzTest, MultiplyingFlattenedInputEqualsConvolution) {
+  nn::Conv2d conv(2, 3, 3, 1, 1, false);
+  Rng rng(90);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  const int64_t h = 5, w = 5;
+  Tensor image = random_tensor({1, 2, h, w}, 91);
+  const Tensor conv_out = conv.forward(image, false);
+  const Tensor t = toeplitz_matrix(conv, h, w);
+  const Tensor flat = image.reshape({2 * h * w, 1});
+  const Tensor t_out = matmul(t, flat);
+  EXPECT_TRUE(t_out.reshape(conv_out.shape()).allclose(conv_out, 1e-4f));
+}
+
+TEST(ToeplitzTest, StridedGeometry) {
+  nn::Conv2d conv(1, 2, 3, 2, 1, false);
+  Rng rng(92);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  Tensor image = random_tensor({1, 1, 6, 6}, 93);
+  const Tensor conv_out = conv.forward(image, false);
+  const Tensor t = toeplitz_matrix(conv, 6, 6);
+  const Tensor t_out = matmul(t, image.reshape({36, 1}));
+  EXPECT_TRUE(t_out.reshape(conv_out.shape()).allclose(conv_out, 1e-4f));
+}
+
+TEST(OrthPenaltyTest, ZeroForOrthonormalFilterMatrix) {
+  // Two orthonormal filters in a 1x2x2 kernel space.
+  nn::Conv2d conv(1, 2, 2, 1, 0, false);
+  const float r = 1.0f / std::sqrt(2.0f);
+  conv.weight().value = Tensor::from({2, 1, 2, 2}, {r, r, 0, 0, r, -r, 0, 0});
+  EXPECT_NEAR(orth_penalty_filter_matrix(conv, nullptr, 0.0f), 0.0f, 1e-5f);
+}
+
+TEST(OrthPenaltyTest, PositiveForDuplicatedFilters) {
+  nn::Conv2d conv(1, 2, 2, 1, 0, false);
+  conv.weight().value = Tensor::from({2, 1, 2, 2}, {0.5f, 0.5f, 0.5f, 0.5f,
+                                                    0.5f, 0.5f, 0.5f, 0.5f});
+  EXPECT_GT(orth_penalty_filter_matrix(conv, nullptr, 0.0f), 0.5f);
+}
+
+TEST(OrthPenaltyTest, GradientMatchesNumerical) {
+  nn::Conv2d conv(2, 3, 2, 1, 0, false);
+  Rng rng(94);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.6f);
+  Tensor grad(conv.weight().value.shape());
+  orth_penalty_filter_matrix(conv, &grad, 1.0f);
+  for (int64_t i = 0; i < conv.weight().value.numel(); i += 3) {
+    const float num = numerical_grad(
+        [&] { return orth_penalty_filter_matrix(conv, nullptr, 0.0f); },
+        conv.weight().value[i]);
+    EXPECT_NEAR(grad[i], num, 5e-2f) << "at " << i;
+  }
+}
+
+TEST(OrthPenaltyTest, ToeplitzAndFilterFormAgreeOnOrder) {
+  // Both forms should say the duplicated-filter conv is "less orthogonal"
+  // than a near-orthogonal one.
+  nn::Conv2d good(1, 2, 2, 1, 0, false);
+  const float r = 1.0f / std::sqrt(2.0f);
+  good.weight().value = Tensor::from({2, 1, 2, 2}, {r, r, 0, 0, r, -r, 0, 0});
+  nn::Conv2d bad(1, 2, 2, 1, 0, false);
+  bad.weight().value = Tensor::from({2, 1, 2, 2}, {r, r, 0, 0, r, r, 0, 0});
+  EXPECT_LT(orth_penalty_filter_matrix(good, nullptr, 0.0f),
+            orth_penalty_filter_matrix(bad, nullptr, 0.0f));
+  EXPECT_LT(orth_penalty_toeplitz(good, 4, 4), orth_penalty_toeplitz(bad, 4, 4));
+}
+
+TEST(ModifiedLossTest, L1TermValueAndGradient) {
+  models::BuildConfig cfg;
+  cfg.num_classes = 3;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25f;
+  nn::Model m = models::make_tiny_cnn(cfg);
+  for (nn::Param* p : m.params()) p->zero_grad();
+
+  ModifiedLossConfig lcfg;
+  lcfg.lambda1 = 0.1f;
+  lcfg.lambda2 = 0.0f;
+  ModifiedLoss loss(lcfg);
+  const float penalty = loss.apply(m);
+
+  double expected = 0.0;
+  m.net->visit([&expected](nn::Layer& l) {
+    if (dynamic_cast<nn::Conv2d*>(&l) != nullptr || dynamic_cast<nn::Linear*>(&l) != nullptr) {
+      for (nn::Param* p : l.params()) {
+        if (p->name == "weight") {
+          for (int64_t i = 0; i < p->value.numel(); ++i) expected += std::fabs(p->value[i]);
+        }
+      }
+    }
+  });
+  EXPECT_NEAR(penalty, 0.1 * expected, 0.1 * expected * 1e-4 + 1e-5);
+
+  // Gradient is lambda1 * sign(w) on conv weights.
+  const Tensor& w = m.units[0].conv->weight().value;
+  const Tensor& g = m.units[0].conv->weight().grad;
+  for (int64_t i = 0; i < w.numel(); i += 7) {
+    const float want = w[i] > 0 ? 0.1f : (w[i] < 0 ? -0.1f : 0.0f);
+    EXPECT_FLOAT_EQ(g[i], want);
+  }
+}
+
+TEST(ModifiedLossTest, ZeroLambdasAreNoop) {
+  models::BuildConfig cfg;
+  cfg.num_classes = 3;
+  cfg.input_size = 8;
+  nn::Model m = models::make_tiny_cnn(cfg);
+  for (nn::Param* p : m.params()) p->zero_grad();
+  ModifiedLoss loss(ModifiedLossConfig{.lambda1 = 0.0f, .lambda2 = 0.0f});
+  EXPECT_FLOAT_EQ(loss.apply(m), 0.0f);
+  for (nn::Param* p : m.params()) {
+    for (int64_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(ModifiedLossTest, L1DrivesWeightsTowardZeroInTraining) {
+  // Train a conv on pure noise with strong L1: weights should shrink.
+  nn::Conv2d conv(1, 2, 3, 1, 1, false);
+  Rng rng(95);
+  rng.fill_normal(conv.weight().value, 0.0f, 1.0f);
+  const float before = l1_norm(conv.weight().value);
+  nn::SGD sgd({.lr = 0.05f, .momentum = 0.0f, .weight_decay = 0.0f});
+  for (int step = 0; step < 50; ++step) {
+    conv.weight().zero_grad();
+    for (int64_t i = 0; i < conv.weight().value.numel(); ++i) {
+      conv.weight().grad[i] = conv.weight().value[i] > 0 ? 1.0f : -1.0f;
+    }
+    sgd.step({&conv.weight()});
+  }
+  EXPECT_LT(l1_norm(conv.weight().value), before * 0.2f);
+}
+
+}  // namespace
+}  // namespace capr::core

@@ -1,0 +1,123 @@
+// Behavioural invariances of the NN layers that the pruning machinery
+// quietly relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace capr::nn {
+namespace {
+
+using capr::testing::random_tensor;
+
+TEST(BatchNormProperty, OutputInvariantToInputAffineRescale) {
+  // BN(ax + b) == BN(x) in training mode (per-channel affine inputs are
+  // normalised away) — the reason tiny conv weights do NOT silence a
+  // channel when a BN follows, and hence why SSS prunes gammas instead.
+  BatchNorm2d bn(3);
+  const Tensor x = random_tensor({4, 3, 5, 5}, 1);
+  const Tensor y1 = bn.forward(x, true);
+  Tensor scaled = x;
+  scale_inplace(scaled, 7.5f);
+  for (int64_t i = 0; i < scaled.numel(); ++i) scaled[i] += 2.0f;
+  const Tensor y2 = bn.forward(scaled, true);
+  EXPECT_TRUE(y2.allclose(y1, 1e-3f));
+}
+
+TEST(BatchNormProperty, GammaZeroSilencesChannelExactly) {
+  BatchNorm2d bn(2);
+  bn.gamma().value[1] = 0.0f;
+  bn.beta().value[1] = 0.0f;
+  const Tensor x = random_tensor({2, 2, 4, 4}, 2);
+  const Tensor y = bn.forward(x, true);
+  for (int64_t n = 0; n < 2; ++n) {
+    const float* p = y.data() + (n * 2 + 1) * 16;
+    for (int64_t k = 0; k < 16; ++k) EXPECT_EQ(p[k], 0.0f);
+  }
+}
+
+TEST(ConvProperty, LinearityInInput) {
+  // conv(a*x + b*y) == a*conv(x) + b*conv(y) for bias-free convs.
+  Conv2d conv(2, 3, 3, 1, 1, false);
+  Rng rng(3);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  const Tensor x = random_tensor({1, 2, 6, 6}, 4);
+  const Tensor y = random_tensor({1, 2, 6, 6}, 5);
+  Tensor combo(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) combo[i] = 2.0f * x[i] - 3.0f * y[i];
+  const Tensor lhs = conv.forward(combo, false);
+  Tensor rhs = conv.forward(x, false);
+  scale_inplace(rhs, 2.0f);
+  axpy_inplace(rhs, -3.0f, conv.forward(y, false));
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-3f));
+}
+
+TEST(ConvProperty, ZeroFilterGivesZeroChannel) {
+  Conv2d conv(2, 3, 3, 1, 1, false);
+  Rng rng(6);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  const int64_t fsz = 2 * 9;
+  for (int64_t i = 0; i < fsz; ++i) conv.weight().value[1 * fsz + i] = 0.0f;
+  const Tensor y = conv.forward(random_tensor({2, 2, 5, 5}, 7), false);
+  for (int64_t n = 0; n < 2; ++n) {
+    const float* p = y.data() + (n * 3 + 1) * 25;
+    for (int64_t k = 0; k < 25; ++k) EXPECT_EQ(p[k], 0.0f);
+  }
+}
+
+TEST(ConvProperty, TranslationCovarianceWithoutPadding) {
+  // Shifting the input by one pixel shifts the (valid-region) output by
+  // one pixel for stride-1 convolutions.
+  Conv2d conv(1, 1, 3, 1, 0, false);
+  Rng rng(8);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.5f);
+  Tensor x({1, 1, 8, 8});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor shifted({1, 1, 8, 8});
+  for (int64_t yy = 0; yy < 8; ++yy) {
+    for (int64_t xx = 1; xx < 8; ++xx) {
+      shifted[yy * 8 + xx] = x[yy * 8 + xx - 1];
+    }
+  }
+  const Tensor y0 = conv.forward(x, false);      // [1,1,6,6]
+  const Tensor y1 = conv.forward(shifted, false);
+  for (int64_t yy = 0; yy < 6; ++yy) {
+    for (int64_t xx = 1; xx < 6; ++xx) {
+      EXPECT_NEAR(y1.at({0, 0, yy, xx}), y0.at({0, 0, yy, xx - 1}), 1e-4f);
+    }
+  }
+}
+
+TEST(SoftmaxProperty, InvariantToLogitShift) {
+  const Tensor logits = random_tensor({3, 6}, 9, -2.0f, 2.0f);
+  Tensor shifted = logits;
+  for (int64_t i = 0; i < shifted.numel(); ++i) shifted[i] += 100.0f;
+  EXPECT_TRUE(softmax(shifted).allclose(softmax(logits), 1e-5f));
+}
+
+TEST(CrossEntropyProperty, LossDecreasesWhenLabelLogitGrows) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 4});
+  const float l0 = ce.forward(logits, {2});
+  logits[2] = 3.0f;
+  SoftmaxCrossEntropy ce2;
+  const float l1 = ce2.forward(logits, {2});
+  EXPECT_LT(l1, l0);
+}
+
+TEST(SequentialProperty, EmptySequentialIsIdentity) {
+  Sequential seq;
+  const Tensor x = random_tensor({2, 3}, 10);
+  EXPECT_TRUE(seq.forward(x, true).allclose(x, 0.0f));
+  EXPECT_TRUE(seq.backward(x).allclose(x, 0.0f));
+  EXPECT_EQ(seq.output_shape({3}), (Shape{3}));
+}
+
+}  // namespace
+}  // namespace capr::nn

@@ -1,0 +1,91 @@
+// Randomised algebraic properties of the tensor kernels. These guard the
+// foundations every other module builds on: if an identity here breaks,
+// gradients and scores go silently wrong everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace capr {
+namespace {
+
+using capr::testing::random_tensor;
+
+class OpsPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpsPropertySweep, AddIsCommutativeAndAssociative) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({37}, seed);
+  const Tensor b = random_tensor({37}, seed + 1);
+  const Tensor c = random_tensor({37}, seed + 2);
+  EXPECT_TRUE(add(a, b).allclose(add(b, a), 1e-6f));
+  EXPECT_TRUE(add(add(a, b), c).allclose(add(a, add(b, c)), 1e-5f));
+}
+
+TEST_P(OpsPropertySweep, MulDistributesOverAdd) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({23}, seed);
+  const Tensor b = random_tensor({23}, seed + 1);
+  const Tensor c = random_tensor({23}, seed + 2);
+  EXPECT_TRUE(mul(a, add(b, c)).allclose(add(mul(a, b), mul(a, c)), 1e-5f));
+}
+
+TEST_P(OpsPropertySweep, NormsSatisfyBasicInequalities) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({64}, seed, -2.0f, 2.0f);
+  const Tensor b = random_tensor({64}, seed + 1, -2.0f, 2.0f);
+  // Triangle inequality for both norms.
+  EXPECT_LE(l1_norm(add(a, b)), l1_norm(a) + l1_norm(b) + 1e-4f);
+  EXPECT_LE(l2_norm(add(a, b)), l2_norm(a) + l2_norm(b) + 1e-4f);
+  // ||x||_2 <= ||x||_1 <= sqrt(n) * ||x||_2 for n-vectors.
+  EXPECT_LE(l2_norm(a), l1_norm(a) + 1e-4f);
+  EXPECT_LE(l1_norm(a), std::sqrt(64.0f) * l2_norm(a) + 1e-4f);
+}
+
+TEST_P(OpsPropertySweep, ReluIsIdempotentAndMonotone) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({50}, seed, -3.0f, 3.0f);
+  const Tensor ra = relu(a);
+  EXPECT_TRUE(relu(ra).allclose(ra, 0.0f));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(ra[i], 0.0f);
+    EXPECT_GE(ra[i], a[i] - 1e-7f);
+  }
+}
+
+TEST_P(OpsPropertySweep, TransposeIsInvolution) {
+  const uint64_t seed = GetParam();
+  const Tensor m = random_tensor({7, 13}, seed);
+  EXPECT_TRUE(transpose(transpose(m)).allclose(m, 0.0f));
+}
+
+TEST_P(OpsPropertySweep, MatmulDistributesOverAdd) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({5, 8}, seed);
+  const Tensor b = random_tensor({8, 6}, seed + 1);
+  const Tensor c = random_tensor({8, 6}, seed + 2);
+  EXPECT_TRUE(matmul(a, add(b, c)).allclose(add(matmul(a, b), matmul(a, c)), 1e-4f));
+}
+
+TEST_P(OpsPropertySweep, MatmulTransposeIdentity) {
+  // (A B)^T == B^T A^T
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({4, 9}, seed);
+  const Tensor b = random_tensor({9, 7}, seed + 1);
+  EXPECT_TRUE(transpose(matmul(a, b))
+                  .allclose(matmul(transpose(b), transpose(a)), 1e-4f));
+}
+
+TEST_P(OpsPropertySweep, SignTimesAbsRecoversValue) {
+  const uint64_t seed = GetParam();
+  const Tensor a = random_tensor({40}, seed, -5.0f, 5.0f);
+  EXPECT_TRUE(mul(sign(a), abs(a)).allclose(a, 1e-6f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsPropertySweep, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace capr

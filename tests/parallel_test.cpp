@@ -1,0 +1,97 @@
+// parallel_for semantics, and numerical equivalence of multi-threaded
+// conv execution with the serial path.
+#include "tensor/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "test_util.h"
+
+namespace capr {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  for (int workers : {1, 2, 4}) {
+    set_num_threads(workers);
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(0, 100, [&](int, int64_t i) { ++hits[static_cast<size_t>(i)]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoops) {
+  int calls = 0;
+  parallel_for(5, 5, [&](int, int64_t) { ++calls; });
+  parallel_for(7, 3, [&](int, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, ThreadIndicesAreDense) {
+  ThreadGuard guard;
+  set_num_threads(3);
+  std::atomic<int> max_tid{0};
+  parallel_for(0, 30, [&](int tid, int64_t) {
+    int cur = max_tid.load();
+    while (tid > cur && !max_tid.compare_exchange_weak(cur, tid)) {
+    }
+  });
+  EXPECT_LT(max_tid.load(), 3);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  ThreadGuard guard;
+  set_num_threads(2);
+  EXPECT_THROW(parallel_for(0, 10,
+                            [](int, int64_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NumThreadsDefaultsPositive) {
+  ThreadGuard guard;
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+  set_num_threads(5);
+  EXPECT_EQ(num_threads(), 5);
+}
+
+TEST(ParallelConvTest, MultiThreadMatchesSerialForwardBackward) {
+  ThreadGuard guard;
+  nn::Conv2d conv(3, 5, 3, 1, 1, true);
+  Rng rng(9);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.4f);
+  rng.fill_normal(conv.bias().value, 0.0f, 0.2f);
+  const Tensor x = testing::random_tensor({6, 3, 7, 7}, 10);
+  const Tensor gout = testing::random_tensor({6, 5, 7, 7}, 11);
+
+  set_num_threads(1);
+  for (nn::Param* p : conv.params()) p->zero_grad();
+  const Tensor y1 = conv.forward(x, true);
+  const Tensor gx1 = conv.backward(gout);
+  const Tensor gw1 = conv.weight().grad;
+  const Tensor gb1 = conv.bias().grad;
+
+  set_num_threads(4);
+  for (nn::Param* p : conv.params()) p->zero_grad();
+  const Tensor y4 = conv.forward(x, true);
+  const Tensor gx4 = conv.backward(gout);
+
+  EXPECT_TRUE(y4.allclose(y1, 1e-6f));
+  EXPECT_TRUE(gx4.allclose(gx1, 1e-5f));
+  // Reduction order differs across threads; allow float reassociation.
+  EXPECT_TRUE(conv.weight().grad.allclose(gw1, 1e-3f));
+  EXPECT_TRUE(conv.bias().grad.allclose(gb1, 1e-3f));
+}
+
+}  // namespace
+}  // namespace capr

@@ -1,0 +1,98 @@
+// PruneHistory: the index-renumbering bookkeeping behind rollback and
+// pruned-checkpoint replay. The subtle part is that every surgery
+// renumbers the surviving filters, so current-index selections must be
+// translated back to original indices exactly.
+#include <gtest/gtest.h>
+
+#include "core/surgeon.h"
+#include "models/builders.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+nn::Model two_unit_model() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 1.0f;  // conv0: 32 filters, conv1: 64 filters
+  return models::make_tiny_cnn(cfg);
+}
+
+TEST(PruneHistoryTest, StartsWithAllKept) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  EXPECT_EQ(h.kept(0).size(), static_cast<size_t>(m.units[0].conv->out_channels()));
+  EXPECT_TRUE(h.removed_original()[0].empty());
+  EXPECT_TRUE(h.removed_original()[1].empty());
+}
+
+TEST(PruneHistoryTest, SingleRoundMapsIdentically) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  h.apply({{0, {1, 3, 5}}});
+  EXPECT_EQ(h.removed_original()[0], (std::vector<int64_t>{1, 3, 5}));
+}
+
+TEST(PruneHistoryTest, RenumberingAcrossRounds) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  // Round 1: remove original indices {1, 3}. Survivors: 0,2,4,5,...
+  h.apply({{0, {1, 3}}});
+  // Round 2, current indices {1, 2} are original {2, 4}.
+  h.apply({{0, {1, 2}}});
+  EXPECT_EQ(h.removed_original()[0], (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(PruneHistoryTest, MatchesRealSurgeryExactly) {
+  // Prune a live model in two rounds and replay the history onto a fresh
+  // copy: both must produce identical weights.
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 1.0f;
+  nn::Model live = models::make_model("tiny", cfg);
+  PruneHistory h(live);
+
+  const std::vector<UnitSelection> round1{{0, {0, 7}}, {1, {2}}};
+  apply_selection(live, round1);
+  h.apply(round1);
+  const std::vector<UnitSelection> round2{{0, {1, 4}}, {1, {0, 5}}};
+  apply_selection(live, round2);
+  h.apply(round2);
+
+  nn::Model fresh = models::make_model("tiny", cfg);
+  const auto removed = h.removed_original();
+  for (size_t u = 0; u < removed.size(); ++u) {
+    if (!removed[u].empty()) remove_filters(fresh, u, removed[u]);
+  }
+  for (size_t u = 0; u < live.units.size(); ++u) {
+    EXPECT_TRUE(fresh.units[u].conv->weight().value.allclose(
+        live.units[u].conv->weight().value, 0.0f))
+        << "unit " << u;
+  }
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 5);
+  EXPECT_TRUE(fresh.forward(x, false).allclose(live.forward(x, false), 1e-5f));
+}
+
+TEST(PruneHistoryTest, SnapshotRestoreIsTransactional) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  h.apply({{0, {2}}});
+  const auto snap = h.snapshot();
+  h.apply({{0, {0, 1}}});
+  EXPECT_EQ(h.removed_original()[0].size(), 3u);
+  h.restore(snap);
+  EXPECT_EQ(h.removed_original()[0], (std::vector<int64_t>{2}));
+}
+
+TEST(PruneHistoryTest, RejectsOutOfRangeCurrentIndex) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  const int64_t f = m.units[0].conv->out_channels();
+  EXPECT_THROW(h.apply({{0, {f}}}), std::out_of_range);
+  EXPECT_THROW(h.apply({{0, {-1}}}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace capr::core

@@ -1,0 +1,116 @@
+#include "tensor/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace capr {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-3.0f, 5.0f);
+    EXPECT_GE(u, -3.0f);
+    EXPECT_LT(u, 5.0f);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reached
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(-5), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(18);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0f, 2.0f);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, FillHelpers) {
+  Rng rng(19);
+  Tensor t({100});
+  rng.fill_uniform(t, 2.0f, 3.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], 2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+  rng.fill_normal(t, 0.0f, 1.0f);
+  bool any_negative = false;
+  for (int64_t i = 0; i < t.numel(); ++i) any_negative |= t[i] < 0.0f;
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int64_t> v(50);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i);
+  std::vector<int64_t> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  Rng b(31);
+  b.split();
+  // Parent stream after split stays deterministic.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Child differs from parent.
+  Rng a2(31);
+  Rng child2 = a2.split();
+  EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+}  // namespace
+}  // namespace capr

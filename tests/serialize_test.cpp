@@ -1,0 +1,73 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "test_util.h"
+
+namespace capr {
+namespace {
+
+TEST(SerializeTest, TensorStreamRoundTrip) {
+  const Tensor t = testing::random_tensor({3, 4, 5}, 100);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(back.allclose(t, 0.0f));
+}
+
+TEST(SerializeTest, EmptyTensorRoundTrip) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor());
+  const Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.numel(), 0);
+}
+
+TEST(SerializeTest, MapRoundTripThroughFile) {
+  std::map<std::string, Tensor> m;
+  m["a.weight"] = testing::random_tensor({2, 3}, 101);
+  m["b.bias"] = testing::random_tensor({7}, 102);
+  m["deep.nested.name"] = Tensor({1}, 42.0f);
+  const std::string path = ::testing::TempDir() + "capr_map.ckpt";
+  save_tensor_map(path, m);
+  const auto back = load_tensor_map(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back.at("a.weight").allclose(m["a.weight"], 0.0f));
+  EXPECT_TRUE(back.at("b.bias").allclose(m["b.bias"], 0.0f));
+  EXPECT_FLOAT_EQ(back.at("deep.nested.name")[0], 42.0f);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensor_map("/nonexistent/dir/x.ckpt"), std::runtime_error);
+}
+
+TEST(SerializeTest, CorruptMagicThrows) {
+  const std::string path = ::testing::TempDir() + "capr_bad.ckpt";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a checkpoint at all";
+  }
+  EXPECT_THROW(load_tensor_map(path), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  std::map<std::string, Tensor> m;
+  m["w"] = testing::random_tensor({100}, 103);
+  const std::string path = ::testing::TempDir() + "capr_trunc.ckpt";
+  save_tensor_map(path, m);
+  // Truncate the file.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(load_tensor_map(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace capr

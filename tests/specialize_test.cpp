@@ -1,0 +1,144 @@
+#include "core/specialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/modified_loss.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/trainer.h"
+
+namespace capr::core {
+namespace {
+
+struct Fixture {
+  nn::Model model;
+  data::SyntheticCifar data;
+
+  Fixture() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 6;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.5f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 6;
+    dcfg.train_per_class = 12;
+    dcfg.test_per_class = 8;
+    dcfg.image_size = 8;
+    dcfg.noise_stddev = 0.15f;
+    data = data::make_synthetic_cifar(dcfg);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 8;
+    tcfg.batch_size = 24;
+    tcfg.sgd.lr = 0.05f;
+    ModifiedLoss reg;
+    nn::train(model, data.train, tcfg, &reg);
+  }
+
+  SpecializeConfig config() const {
+    SpecializeConfig cfg;
+    cfg.importance.images_per_class = 4;
+    cfg.importance.tau_mode = TauMode::kQuantile;
+    cfg.max_fraction = 0.5f;
+    cfg.finetune.epochs = 3;
+    cfg.finetune.batch_size = 16;
+    cfg.finetune.sgd.lr = 0.02f;
+    return cfg;
+  }
+};
+
+TEST(RestrictDatasetTest, FiltersAndRemapsLabels) {
+  Fixture f;
+  const data::Dataset sub = restrict_to_classes(f.data.train, {2, 5});
+  EXPECT_EQ(sub.num_classes(), 2);
+  EXPECT_EQ(sub.size(), 24);  // 12 per class * 2
+  for (int64_t i = 0; i < sub.size(); ++i) {
+    EXPECT_GE(sub.label(i), 0);
+    EXPECT_LT(sub.label(i), 2);
+  }
+  EXPECT_EQ(static_cast<int64_t>(sub.indices_of_class(0).size()), 12);
+}
+
+TEST(RestrictDatasetTest, NonAscendingOrderRemaps) {
+  Fixture f;
+  const data::Dataset sub = restrict_to_classes(f.data.train, {5, 2});
+  // Class 5 becomes label 0, class 2 becomes label 1.
+  EXPECT_EQ(sub.num_classes(), 2);
+  EXPECT_EQ(static_cast<int64_t>(sub.indices_of_class(0).size()), 12);
+}
+
+TEST(RestrictDatasetTest, Validation) {
+  Fixture f;
+  EXPECT_THROW(restrict_to_classes(f.data.train, {}), std::invalid_argument);
+  EXPECT_THROW(restrict_to_classes(f.data.train, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(restrict_to_classes(f.data.train, {99}), std::out_of_range);
+}
+
+TEST(SpecializeTest, ShrinksHeadAndPrunes) {
+  Fixture f;
+  const int64_t params_before = f.model.parameter_count();
+  const SpecializeResult res =
+      specialize_to_classes(f.model, f.data.train, f.data.test, {0, 3, 4}, f.config());
+  EXPECT_EQ(f.model.num_classes, 3);
+  EXPECT_LT(f.model.parameter_count(), params_before);
+  EXPECT_GT(res.report.pruning_ratio(), 0.0);
+  // The specialized model still classifies the subset well.
+  EXPECT_GT(res.subset_accuracy_after, 0.6f);
+  // Forward output has 3 logits now.
+  const data::Dataset sub = restrict_to_classes(f.data.test, {0, 3, 4});
+  const Tensor logits = f.model.forward(sub.slice(0, 2).images, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 3}));
+}
+
+TEST(SpecializeTest, HeadRowsMatchKeptClasses) {
+  Fixture f;
+  // Record the original head rows to verify the mapping.
+  nn::Linear* head = nullptr;
+  for (size_t i = f.model.net->size(); i-- > 0;) {
+    if ((head = dynamic_cast<nn::Linear*>(&f.model.net->child(i))) != nullptr) break;
+  }
+  ASSERT_NE(head, nullptr);
+  const Tensor w_before = head->weight().value;
+  const int64_t in = head->in_features();
+
+  SpecializeConfig cfg = f.config();
+  cfg.max_fraction = 0.0001f;  // effectively no filter pruning: isolate head surgery
+  cfg.finetune.epochs = 0;
+  specialize_to_classes(f.model, f.data.train, f.data.test, {4, 1}, cfg);
+  // Row 0 must be old class 4's row, row 1 old class 1's row.
+  for (int64_t c = 0; c < in; ++c) {
+    EXPECT_FLOAT_EQ(head->weight().value[0 * in + c], w_before[4 * in + c]);
+    EXPECT_FLOAT_EQ(head->weight().value[1 * in + c], w_before[1 * in + c]);
+  }
+}
+
+TEST(SpecializeTest, Validation) {
+  Fixture f;
+  EXPECT_THROW(
+      specialize_to_classes(f.model, f.data.train, f.data.test, {0}, f.config()),
+      std::invalid_argument);
+  EXPECT_THROW(specialize_to_classes(f.model, f.data.train, f.data.test,
+                                     {0, 1, 2, 3, 4, 5}, f.config()),
+               std::invalid_argument);
+}
+
+TEST(SpecializeTest, SubsetScoresAreSubsetOfTotal) {
+  // Filters important ONLY for dropped classes should be pruned more
+  // eagerly than under whole-network pruning at the same budget — verify
+  // via the importance bookkeeping: subset totals <= full totals.
+  Fixture f;
+  ImportanceEvaluator eval(f.config().importance);
+  const ImportanceResult full = eval.evaluate(f.model, f.data.train);
+  for (const UnitScores& u : full.units) {
+    for (size_t filter = 0; filter < u.total.size(); ++filter) {
+      float subset = 0.0f;
+      for (int64_t cls : {0L, 3L, 4L}) {
+        subset += u.per_class[static_cast<size_t>(cls)][filter];
+      }
+      EXPECT_LE(subset, u.total[filter] + 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capr::core

@@ -1,0 +1,58 @@
+#include "nn/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "models/builders.h"
+
+namespace capr::nn {
+namespace {
+
+models::BuildConfig tiny_cfg() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25f;
+  return cfg;
+}
+
+TEST(SummaryTest, ContainsLayersAndTotals) {
+  Model m = models::make_tiny_cnn(tiny_cfg());
+  const std::string s = summary(m);
+  EXPECT_NE(s.find("conv0"), std::string::npos);
+  EXPECT_NE(s.find("conv2d"), std::string::npos);
+  EXPECT_NE(s.find("fc"), std::string::npos);
+  EXPECT_NE(s.find("total parameters: " + std::to_string(m.parameter_count())),
+            std::string::npos);
+  EXPECT_NE(s.find("prunable units  : 2"), std::string::npos);
+}
+
+TEST(SummaryTest, ResnetBlocksExpandWithAddRows) {
+  Model m = models::make_resnet20(tiny_cfg());
+  const std::string s = summary(m);
+  EXPECT_NE(s.find("s0.b0.conv1"), std::string::npos);
+  EXPECT_NE(s.find(".add"), std::string::npos);
+  EXPECT_NE(s.find("stem.conv"), std::string::npos);
+}
+
+TEST(SummaryTest, ShapesReflectSurgery) {
+  Model m = models::make_tiny_cnn(tiny_cfg());
+  const std::string before = summary(m);
+  m.units[0].conv->remove_out_channels({0});
+  m.units[0].bn->remove_channels({0});
+  for (auto& c : m.units[0].consumers) {
+    if (c.conv != nullptr) c.conv->remove_in_channels({0});
+  }
+  const std::string after = summary(m);
+  EXPECT_NE(before, after);
+}
+
+TEST(SummaryTest, WorksForEveryArch) {
+  for (const std::string& arch : models::available_archs()) {
+    Model m = models::make_model(arch, tiny_cfg());
+    const std::string s = summary(m);
+    EXPECT_NE(s.find("total parameters"), std::string::npos) << arch;
+  }
+}
+
+}  // namespace
+}  // namespace capr::nn

@@ -1,0 +1,85 @@
+// Property-style sweeps: random pruning sequences on every architecture
+// must preserve the structural invariants the rest of the system relies
+// on (forward legality, metadata consistency, cost-model agreement).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/surgeon.h"
+#include "flops/flops.h"
+#include "models/builders.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+class RandomSurgerySweep
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(RandomSurgerySweep, InvariantsHoldUnderRandomPruning) {
+  const auto& [arch, seed] = GetParam();
+  models::BuildConfig cfg;
+  cfg.num_classes = 5;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.5f;
+  nn::Model m = models::make_model(arch, cfg);
+  Rng rng(seed);
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, seed);
+
+  for (int round = 0; round < 3; ++round) {
+    // Pick a random unit and remove a random strict subset of filters
+    // (respecting a floor of 2).
+    const auto u = static_cast<size_t>(rng.uniform_int(
+        static_cast<int64_t>(m.units.size())));
+    const int64_t f = m.units[u].conv->out_channels();
+    if (f <= 2) continue;
+    const int64_t remove_n = 1 + rng.uniform_int(std::min<int64_t>(f - 2, 3));
+    std::vector<int64_t> filters;
+    while (static_cast<int64_t>(filters.size()) < remove_n) {
+      const int64_t cand = rng.uniform_int(f);
+      if (std::find(filters.begin(), filters.end(), cand) == filters.end()) {
+        filters.push_back(cand);
+      }
+    }
+    remove_filters(m, u, filters);
+
+    // Invariant 1: forward stays legal and finite.
+    const Tensor logits = m.forward(x, false);
+    ASSERT_EQ(logits.shape(), (Shape{2, 5}));
+    for (int64_t i = 0; i < logits.numel(); ++i) ASSERT_FALSE(std::isnan(logits[i]));
+
+    // Invariant 2: metadata still consistent.
+    for (const nn::PrunableUnit& unit : m.units) {
+      if (unit.bn != nullptr) {
+        ASSERT_EQ(unit.bn->channels(), unit.conv->out_channels());
+      }
+      for (const nn::ConsumerRef& c : unit.consumers) {
+        if (c.conv != nullptr) {
+          ASSERT_EQ(c.conv->in_channels(), unit.conv->out_channels());
+        } else {
+          ASSERT_EQ(c.linear->in_features(), unit.conv->out_channels() * c.spatial);
+        }
+      }
+    }
+
+    // Invariant 3: cost model agrees with the live parameter count.
+    ASSERT_EQ(flops::count(m).total_params, m.parameter_count());
+
+    // Invariant 4: backward still runs with matching grad shapes.
+    m.forward(x, true);
+    m.backward(Tensor({2, 5}, 0.1f));
+    for (nn::Param* p : m.params()) {
+      ASSERT_EQ(p->value.shape(), p->grad.shape());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchSeeds, RandomSurgerySweep,
+    ::testing::Combine(::testing::Values("tiny", "vgg16", "vgg19", "resnet20"),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace capr::core

@@ -1,0 +1,119 @@
+// Structural surgery correctness: removing filters must keep the model
+// shape-legal, and removing *dead* filters must leave outputs unchanged.
+#include "core/surgeon.h"
+
+#include <gtest/gtest.h>
+
+#include "models/builders.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+models::BuildConfig tiny_cfg() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.25f;
+  return cfg;
+}
+
+/// Silences filter `f` of unit `u`: zero conv weights and BN affine, and
+/// make the BN running stats map the channel to exactly zero output.
+void kill_filter(nn::Model& m, size_t u, int64_t f) {
+  nn::PrunableUnit& unit = m.units[u];
+  const int64_t fsz =
+      unit.conv->in_channels() * unit.conv->kernel() * unit.conv->kernel();
+  for (int64_t i = 0; i < fsz; ++i) unit.conv->weight().value[f * fsz + i] = 0.0f;
+  if (unit.bn != nullptr) {
+    unit.bn->gamma().value[f] = 0.0f;
+    unit.bn->beta().value[f] = 0.0f;
+    unit.bn->running_mean()[f] = 0.0f;
+  }
+}
+
+TEST(SurgeryTest, PruningDeadFiltersPreservesLogitsExactly) {
+  nn::Model m = models::make_tiny_cnn(tiny_cfg());
+  const Tensor x = capr::testing::random_tensor({3, 3, 8, 8}, 80);
+  kill_filter(m, 0, 1);
+  kill_filter(m, 0, 3);
+  kill_filter(m, 1, 0);
+  const Tensor before = m.forward(x, false);
+  remove_filters(m, 0, {1, 3});
+  remove_filters(m, 1, {0});
+  const Tensor after = m.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-5f));
+}
+
+TEST(SurgeryTest, VggChainPropagation) {
+  nn::Model m = models::make_vgg16(tiny_cfg());
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 81);
+  // Kill and prune in the middle and at the last conv (linear consumer).
+  kill_filter(m, 5, 2);
+  kill_filter(m, 12, 0);
+  const Tensor before = m.forward(x, false);
+  remove_filters(m, 5, {2});
+  remove_filters(m, 12, {0});
+  const Tensor after = m.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-4f));
+}
+
+TEST(SurgeryTest, ResnetBlockPruningKeepsShortcutLegal) {
+  nn::Model m = models::make_resnet20(tiny_cfg());
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 82);
+  kill_filter(m, 4, 1);
+  const Tensor before = m.forward(x, false);
+  remove_filters(m, 4, {1});
+  const Tensor after = m.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-4f));
+  // conv2 of the pruned block shrank its input, out stayed fixed.
+  EXPECT_EQ(m.units[4].consumers[0].conv->out_channels(),
+            m.units[4].consumers[0].conv->in_channels() + 1);
+}
+
+TEST(SurgeryTest, TrainingStillWorksAfterSurgery) {
+  nn::Model m = models::make_resnet20(tiny_cfg());
+  remove_filters(m, 0, {0});
+  remove_filters(m, 8, {1, 2});
+  const Tensor x = capr::testing::random_tensor({2, 3, 8, 8}, 83);
+  const Tensor logits = m.forward(x, true);
+  EXPECT_NO_THROW(m.backward(Tensor(logits.shape(), 0.05f)));
+  for (nn::Param* p : m.params()) {
+    EXPECT_EQ(p->value.shape(), p->grad.shape());
+  }
+}
+
+TEST(SurgeryTest, ApplySelectionCountsRemovals) {
+  nn::Model m = models::make_tiny_cnn(tiny_cfg());
+  const int64_t before = total_prunable_filters(m);
+  std::vector<UnitSelection> sel;
+  sel.push_back({0, {0, 2}});
+  sel.push_back({1, {1}});
+  EXPECT_EQ(apply_selection(m, sel), 3);
+  EXPECT_EQ(total_prunable_filters(m), before - 3);
+}
+
+TEST(SurgeryTest, ErrorsOnInvalidRequests) {
+  nn::Model m = models::make_tiny_cnn(tiny_cfg());
+  EXPECT_THROW(remove_filters(m, 99, {0}), std::out_of_range);
+  EXPECT_THROW(remove_filters(m, 0, {1000}), std::out_of_range);
+  // Removing everything is refused.
+  std::vector<int64_t> all(static_cast<size_t>(m.units[0].conv->out_channels()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  EXPECT_THROW(remove_filters(m, 0, all), std::invalid_argument);
+  // Empty removal is a no-op.
+  const int64_t n = total_prunable_filters(m);
+  remove_filters(m, 0, {});
+  EXPECT_EQ(total_prunable_filters(m), n);
+}
+
+TEST(SurgeryTest, StateDictReflectsNewShapes) {
+  nn::Model m = models::make_tiny_cnn(tiny_cfg());
+  remove_filters(m, 0, {0});
+  const auto dict = m.state_dict();
+  const auto& w = dict.at("conv0.weight");
+  EXPECT_EQ(w.dim(0), m.units[0].conv->out_channels());
+}
+
+}  // namespace
+}  // namespace capr::core

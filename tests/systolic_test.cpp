@@ -1,0 +1,131 @@
+#include "hw/systolic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/surgeon.h"
+#include "flops/flops.h"
+#include "models/builders.h"
+
+namespace capr::hw {
+namespace {
+
+SystolicConfig small_array() {
+  SystolicConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  return cfg;
+}
+
+TEST(SystolicGemmTest, SingleTileClosedForm) {
+  // 4x4 x 4x8: one tile -> cycles = N + rows + cols = 8 + 4 + 4.
+  const LayerSim sim = simulate_gemm("g", 4, 4, 8, small_array());
+  EXPECT_EQ(sim.cycles, 16);
+  EXPECT_EQ(sim.macs, 4 * 4 * 8);
+  EXPECT_DOUBLE_EQ(sim.utilization, 128.0 / (16.0 * 16.0));
+}
+
+TEST(SystolicGemmTest, TilingMultipliesPasses) {
+  // M = 8 -> 2 tiles over rows; K = 8 -> 2 tiles over cols: 4 passes.
+  const LayerSim sim = simulate_gemm("g", 8, 8, 10, small_array());
+  EXPECT_EQ(sim.cycles, 4 * (10 + 8));
+}
+
+TEST(SystolicGemmTest, UtilizationNeverExceedsOne) {
+  for (int64_t m : {1, 4, 7, 64}) {
+    for (int64_t k : {1, 4, 9, 128}) {
+      for (int64_t n : {1, 5, 100}) {
+        const LayerSim sim = simulate_gemm("g", m, k, n, small_array());
+        EXPECT_LE(sim.utilization, 1.0) << m << "x" << k << "x" << n;
+        EXPECT_GT(sim.utilization, 0.0);
+      }
+    }
+  }
+}
+
+TEST(SystolicGemmTest, LargerArrayNeverSlower) {
+  SystolicConfig big = small_array();
+  big.rows = 16;
+  big.cols = 16;
+  for (int64_t m : {8, 32, 100}) {
+    const LayerSim s4 = simulate_gemm("g", m, 64, 100, small_array());
+    const LayerSim s16 = simulate_gemm("g", m, 64, 100, big);
+    EXPECT_LE(s16.cycles, s4.cycles) << "m=" << m;
+  }
+}
+
+TEST(SystolicGemmTest, Validation) {
+  EXPECT_THROW(simulate_gemm("g", 0, 4, 4, small_array()), std::invalid_argument);
+  SystolicConfig bad = small_array();
+  bad.rows = 0;
+  EXPECT_THROW(simulate_gemm("g", 4, 4, 4, bad), std::invalid_argument);
+}
+
+TEST(SystolicModelTest, WalksWholeModel) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  nn::Model m = models::make_vgg16(mcfg);
+  const ModelSim sim = simulate(m, small_array());
+  EXPECT_GT(sim.total_cycles, 0);
+  EXPECT_GT(sim.total_energy_nj, 0.0);
+  // The simulator's MAC count must agree with the FLOPs cost model.
+  EXPECT_EQ(sim.total_macs, flops::count(m).total_macs);
+  EXPECT_GT(sim.mean_utilization(small_array()), 0.0);
+  EXPECT_LE(sim.mean_utilization(small_array()), 1.0);
+}
+
+TEST(SystolicModelTest, ResnetBlocksIncluded) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  nn::Model m = models::make_resnet20(mcfg);
+  const ModelSim sim = simulate(m, small_array());
+  EXPECT_EQ(sim.total_macs, flops::count(m).total_macs);
+}
+
+TEST(SystolicModelTest, PruningReducesCyclesAndEnergy) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.5f;
+  nn::Model m = models::make_tiny_cnn(mcfg);
+  const ModelSim before = simulate(m, small_array());
+  core::remove_filters(m, 0, {0, 1, 2, 3});
+  core::remove_filters(m, 1, {0, 1, 2, 3, 4, 5});
+  const ModelSim after = simulate(m, small_array());
+  EXPECT_LT(after.total_cycles, before.total_cycles);
+  EXPECT_LT(after.total_energy_nj, before.total_energy_nj);
+  EXPECT_LT(after.total_dram_bytes, before.total_dram_bytes);
+}
+
+TEST(SystolicModelTest, LatencyScalesWithClock) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.input_size = 8;
+  nn::Model m = models::make_tiny_cnn(mcfg);
+  SystolicConfig slow = small_array();
+  SystolicConfig fast = small_array();
+  fast.freq_ghz = 2.0;
+  const ModelSim sim = simulate(m, slow);
+  EXPECT_NEAR(sim.latency_us(slow) / sim.latency_us(fast), 2.0, 1e-9);
+}
+
+TEST(SystolicModelTest, SmallSramRaisesDramTraffic) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 10;
+  mcfg.input_size = 16;
+  mcfg.width_mult = 1.0f;
+  nn::Model m = models::make_vgg16(mcfg);
+  SystolicConfig big = small_array();
+  big.sram_bytes = 64 * 1024 * 1024;
+  SystolicConfig tiny = small_array();
+  tiny.sram_bytes = 1024;
+  const ModelSim with_big = simulate(m, big);
+  const ModelSim with_tiny = simulate(m, tiny);
+  EXPECT_GE(with_tiny.total_dram_bytes, with_big.total_dram_bytes);
+}
+
+}  // namespace
+}  // namespace capr::hw

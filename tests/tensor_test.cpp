@@ -1,0 +1,179 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace capr {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, DataConstructorValidatesSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>(4, 0.0f)));
+}
+
+TEST(TensorTest, NegativeExtentRejected) {
+  EXPECT_THROW(Tensor({2, -3}), std::invalid_argument);
+}
+
+TEST(TensorTest, FromInitializerList) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.shape(), (Shape{3}));
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, MultiDimAccess) {
+  Tensor t = Tensor::from({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  t.at({1, 0}) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(TensorTest, AtBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0, 3}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(TensorTest, DimSupportsNegativeIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::from({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(TensorTest, ReshapeInfersExtent) {
+  Tensor t({4, 6});
+  EXPECT_EQ(t.reshape({-1, 3}).shape(), (Shape{8, 3}));
+  EXPECT_EQ(t.reshape({2, -1}).shape(), (Shape{2, 12}));
+}
+
+TEST(TensorTest, ReshapeErrors) {
+  Tensor t({4, 6});
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, 7}), std::invalid_argument);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::from({1.0f, 2.0f});
+  Tensor b = Tensor::from({1.0f, 2.00001f});
+  EXPECT_TRUE(a.allclose(b, 1e-3f));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  EXPECT_FALSE(a.allclose(Tensor({3})));
+}
+
+TEST(TensorTest, StreamOutput) {
+  Tensor t = Tensor::from({2}, {1.0f, 2.0f});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("[2]"), std::string::npos);
+  EXPECT_NE(os.str().find('1'), std::string::npos);
+}
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  EXPECT_TRUE(add(a, b).allclose(Tensor::from({5, 7, 9})));
+  EXPECT_TRUE(sub(b, a).allclose(Tensor::from({3, 3, 3})));
+  EXPECT_TRUE(mul(a, b).allclose(Tensor::from({4, 10, 18})));
+}
+
+TEST(OpsTest, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, InplaceOps) {
+  Tensor a = Tensor::from({1, 2});
+  add_inplace(a, Tensor::from({10, 20}));
+  EXPECT_TRUE(a.allclose(Tensor::from({11, 22})));
+  axpy_inplace(a, 2.0f, Tensor::from({1, 1}));
+  EXPECT_TRUE(a.allclose(Tensor::from({13, 24})));
+  scale_inplace(a, 0.5f);
+  EXPECT_TRUE(a.allclose(Tensor::from({6.5, 12})));
+}
+
+TEST(OpsTest, ReluAndBackward) {
+  Tensor pre = Tensor::from({-1, 0, 2});
+  EXPECT_TRUE(relu(pre).allclose(Tensor::from({0, 0, 2})));
+  Tensor grad = Tensor::from({5, 5, 5});
+  EXPECT_TRUE(relu_backward(grad, pre).allclose(Tensor::from({0, 0, 5})));
+}
+
+TEST(OpsTest, AbsSign) {
+  Tensor a = Tensor::from({-2, 0, 3});
+  EXPECT_TRUE(abs(a).allclose(Tensor::from({2, 0, 3})));
+  EXPECT_TRUE(sign(a).allclose(Tensor::from({-1, 0, 1})));
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::from({1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(max_value(a), 3.0f);
+  EXPECT_FLOAT_EQ(min_value(a), -4.0f);
+  EXPECT_EQ(argmax(a), 2);
+  EXPECT_FLOAT_EQ(l1_norm(a), 10.0f);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(30.0f), 1e-5f);
+  EXPECT_EQ(count_near_zero(a, 1.5f), 1);
+}
+
+TEST(OpsTest, EmptyReductionsThrow) {
+  Tensor e;
+  EXPECT_THROW(mean(e), std::invalid_argument);
+  EXPECT_THROW(max_value(e), std::invalid_argument);
+  EXPECT_THROW(argmax(e), std::invalid_argument);
+}
+
+TEST(OpsTest, RowwiseAndColSum) {
+  Tensor m = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor v = Tensor::from({10, 20, 30});
+  EXPECT_TRUE(add_rowwise(m, v).allclose(Tensor::from({2, 3}, {11, 22, 33, 14, 25, 36})));
+  EXPECT_TRUE(col_sum(m).allclose(Tensor::from({5, 7, 9})));
+  EXPECT_THROW(add_rowwise(m, Tensor({2})), std::invalid_argument);
+}
+
+TEST(OpsTest, Transpose) {
+  Tensor m = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(m);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_TRUE(t.allclose(Tensor::from({3, 2}, {1, 4, 2, 5, 3, 6})));
+}
+
+}  // namespace
+}  // namespace capr

@@ -1,0 +1,108 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/builders.h"
+
+namespace capr::nn {
+namespace {
+
+data::SyntheticCifar small_data(int64_t classes = 3) {
+  data::SyntheticCifarConfig cfg;
+  cfg.num_classes = classes;
+  cfg.train_per_class = 16;
+  cfg.test_per_class = 8;
+  cfg.image_size = 8;
+  cfg.noise_stddev = 0.1f;
+  return data::make_synthetic_cifar(cfg);
+}
+
+Model small_model(int64_t classes = 3) {
+  models::BuildConfig cfg;
+  cfg.num_classes = classes;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.5f;
+  return models::make_tiny_cnn(cfg);
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  Model m = small_model();
+  const auto data = small_data();
+  std::vector<float> losses;
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 16;
+  cfg.sgd.lr = 0.05f;
+  cfg.on_epoch = [&losses](int, float loss) { losses.push_back(loss); };
+  const TrainStats stats = train(m, data.train, cfg);
+  EXPECT_EQ(stats.epochs_run, 6);
+  ASSERT_EQ(losses.size(), 6u);
+  EXPECT_LT(losses.back(), losses.front() * 0.8f);
+}
+
+TEST(TrainerTest, LearnsSeparableClasses) {
+  Model m = small_model();
+  const auto data = small_data();
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 16;
+  cfg.sgd.lr = 0.05f;
+  train(m, data.train, cfg);
+  // Synthetic classes are learnable well above chance (1/3).
+  EXPECT_GT(evaluate(m, data.test), 0.7f);
+}
+
+TEST(TrainerTest, LrDecayApplies) {
+  Model m = small_model();
+  const auto data = small_data();
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.lr_decay = 0.1f;
+  cfg.lr_decay_every = 2;
+  EXPECT_NO_THROW(train(m, data.train, cfg));
+}
+
+TEST(TrainerTest, EvaluateLossIsFiniteAndConsistent) {
+  Model m = small_model();
+  const auto data = small_data();
+  const float l1 = evaluate_loss(m, data.test, 8);
+  const float l2 = evaluate_loss(m, data.test, 24);
+  EXPECT_NEAR(l1, l2, 1e-3f);  // batching must not change the mean loss
+  EXPECT_GT(l1, 0.0f);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  const auto data = small_data();
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  Model a = small_model();
+  Model b = small_model();
+  train(a, data.train, cfg);
+  train(b, data.train, cfg);
+  const Tensor x = data.test.slice(0, 4).images;
+  EXPECT_TRUE(a.forward(x, false).allclose(b.forward(x, false), 1e-6f));
+}
+
+TEST(TrainerTest, RegularizerReceivesCalls) {
+  struct Counter final : Regularizer {
+    int calls = 0;
+    float apply(Model&) override {
+      ++calls;
+      return 0.0f;
+    }
+  };
+  Model m = small_model();
+  const auto data = small_data();
+  Counter reg;
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  train(m, data.train, cfg, &reg);
+  EXPECT_EQ(reg.calls, 2 * 3);  // 48 samples / 16 per batch * 2 epochs
+}
+
+}  // namespace
+}  // namespace capr::nn

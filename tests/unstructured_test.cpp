@@ -1,0 +1,105 @@
+#include "baselines/unstructured.h"
+
+#include <gtest/gtest.h>
+
+#include "core/modified_loss.h"
+#include "data/synthetic.h"
+#include "flops/flops.h"
+#include "models/builders.h"
+#include "tensor/ops.h"
+
+namespace capr::baselines {
+namespace {
+
+struct Fixture {
+  nn::Model model;
+  data::SyntheticCifar data;
+
+  Fixture() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 3;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.5f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 3;
+    dcfg.train_per_class = 12;
+    dcfg.test_per_class = 6;
+    dcfg.image_size = 8;
+    dcfg.noise_stddev = 0.15f;
+    data = data::make_synthetic_cifar(dcfg);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 8;
+    tcfg.batch_size = 12;
+    tcfg.sgd.lr = 0.05f;
+    nn::train(model, data.train, tcfg);
+  }
+};
+
+int64_t count_zero_weights(nn::Model& m) {
+  int64_t zeros = 0;
+  m.net->visit([&zeros](nn::Layer& l) {
+    if (dynamic_cast<nn::Conv2d*>(&l) != nullptr || dynamic_cast<nn::Linear*>(&l) != nullptr) {
+      for (nn::Param* p : l.params()) {
+        if (p->name == "weight") zeros += count_near_zero(p->value, 0.0f);
+      }
+    }
+  });
+  return zeros;
+}
+
+TEST(UnstructuredTest, AchievesRequestedSparsity) {
+  Fixture f;
+  UnstructuredConfig cfg;
+  cfg.sparsity = 0.7f;
+  cfg.finetune.epochs = 2;
+  cfg.finetune.batch_size = 12;
+  cfg.finetune.sgd.lr = 0.01f;
+  UnstructuredPruner pruner(cfg);
+  const UnstructuredResult res = pruner.run(f.model, f.data.train, f.data.test);
+  EXPECT_NEAR(res.achieved_sparsity(), 0.7, 0.05);
+  EXPECT_GT(res.weights_total, 0);
+  // Masks survived fine-tuning: the live model really is sparse.
+  EXPECT_GE(count_zero_weights(f.model), res.weights_masked);
+}
+
+TEST(UnstructuredTest, ShapesAndFlopsUnchanged) {
+  Fixture f;
+  const flops::ModelCost before = flops::count(f.model);
+  UnstructuredConfig cfg;
+  cfg.sparsity = 0.5f;
+  cfg.finetune.epochs = 1;
+  cfg.finetune.batch_size = 12;
+  UnstructuredPruner pruner(cfg);
+  pruner.run(f.model, f.data.train, f.data.test);
+  const flops::ModelCost after = flops::count(f.model);
+  // The defining property: dense cost model sees no difference.
+  EXPECT_EQ(after.total_flops, before.total_flops);
+  EXPECT_EQ(after.total_params, before.total_params);
+}
+
+TEST(UnstructuredTest, ModerateSparsityKeepsAccuracy) {
+  Fixture f;
+  UnstructuredConfig cfg;
+  cfg.sparsity = 0.5f;
+  cfg.finetune.epochs = 3;
+  cfg.finetune.batch_size = 12;
+  cfg.finetune.sgd.lr = 0.02f;
+  UnstructuredPruner pruner(cfg);
+  const UnstructuredResult res = pruner.run(f.model, f.data.train, f.data.test);
+  EXPECT_GT(res.accuracy_after, res.accuracy_before - 0.15f);
+}
+
+TEST(UnstructuredTest, Validation) {
+  Fixture f;
+  UnstructuredConfig cfg;
+  cfg.sparsity = 0.0f;
+  UnstructuredPruner p0(cfg);
+  EXPECT_THROW(p0.run(f.model, f.data.train, f.data.test), std::invalid_argument);
+  cfg.sparsity = 1.0f;
+  UnstructuredPruner p1(cfg);
+  EXPECT_THROW(p1.run(f.model, f.data.train, f.data.test), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capr::baselines
