@@ -87,13 +87,54 @@ Tensor toeplitz_matrix(const Conv2d& conv, int64_t in_h, int64_t in_w) {
   return t;
 }
 
-float orth_penalty_toeplitz(const Conv2d& conv, int64_t in_h, int64_t in_w) {
+float orth_penalty_toeplitz(const Conv2d& conv, int64_t in_h, int64_t in_w, Tensor* grad,
+                            float scale) {
   const Tensor t = toeplitz_matrix(conv, in_h, in_w);
-  const int64_t rows = t.dim(0);
+  const int64_t rows = t.dim(0), cols = t.dim(1);
   Tensor g = matmul_nt(t, t);
   for (int64_t i = 0; i < rows; ++i) g[i * rows + i] -= 1.0f;
   double penalty = 0.0;
   for (int64_t i = 0; i < g.numel(); ++i) penalty += static_cast<double>(g[i]) * g[i];
+  if (grad != nullptr) {
+    if (grad->shape() != conv.weight().value.shape()) {
+      throw std::invalid_argument("toeplitz orth gradient: shape mismatch with conv weight");
+    }
+    // dP/dT = 4 G T (G symmetric); chain back through T's structure by
+    // walking the same enumeration that toeplitz_matrix uses: weight
+    // element w[f,c,kh,kw] occupies T[row, col] for every valid output
+    // position, so its gradient is the sum of 4(GT)[row, col] over them.
+    const Tensor gt = matmul(g, t);  // [rows, cols]
+    ConvGeom geom;
+    geom.in_channels = conv.in_channels();
+    geom.in_h = in_h;
+    geom.in_w = in_w;
+    geom.kernel_h = conv.kernel();
+    geom.kernel_w = conv.kernel();
+    geom.stride = conv.stride();
+    geom.padding = conv.padding();
+    const int64_t oh = geom.out_h(), ow = geom.out_w();
+    const int64_t k = conv.kernel();
+    for (int64_t f = 0; f < conv.out_channels(); ++f) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const int64_t row = (f * oh + oy) * ow + ox;
+          for (int64_t c = 0; c < conv.in_channels(); ++c) {
+            for (int64_t kh = 0; kh < k; ++kh) {
+              const int64_t iy = oy * conv.stride() + kh - conv.padding();
+              if (iy < 0 || iy >= in_h) continue;
+              for (int64_t kw = 0; kw < k; ++kw) {
+                const int64_t ix = ox * conv.stride() + kw - conv.padding();
+                if (ix < 0 || ix >= in_w) continue;
+                const int64_t col = (c * in_h + iy) * in_w + ix;
+                const int64_t widx = ((f * conv.in_channels() + c) * k + kh) * k + kw;
+                (*grad)[widx] += scale * 4.0f * gt[row * cols + col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
   return static_cast<float>(penalty);
 }
 
@@ -110,11 +151,11 @@ float ModifiedLoss::apply(nn::Model& model) {
           total += static_cast<double>(cfg_.lambda2) *
                    orth_penalty_filter_matrix(*conv, &conv->weight().grad, cfg_.lambda2);
         } else {
-          // Exact Toeplitz penalty; gradient via the filter-matrix
-          // surrogate (same zero set, compatible descent direction).
+          // Exact Toeplitz penalty with its exact gradient (verified by
+          // tests/gradcheck_test.cpp against finite differences).
           total += static_cast<double>(cfg_.lambda2) *
-                   orth_penalty_toeplitz(*conv, cfg_.toeplitz_h, cfg_.toeplitz_w);
-          orth_penalty_filter_matrix(*conv, &conv->weight().grad, cfg_.lambda2);
+                   orth_penalty_toeplitz(*conv, cfg_.toeplitz_h, cfg_.toeplitz_w,
+                                         &conv->weight().grad, cfg_.lambda2);
         }
       }
     } else if (auto* lin = dynamic_cast<Linear*>(&layer)) {

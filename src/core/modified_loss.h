@@ -64,7 +64,13 @@ float orth_penalty_filter_matrix(const nn::Conv2d& conv, Tensor* grad, float sca
 /// convolution. Dense representation; use only on small geometries.
 Tensor toeplitz_matrix(const nn::Conv2d& conv, int64_t in_h, int64_t in_w);
 
-/// Penalty ||TT^T - I||_F^2 using the Toeplitz form (no gradient).
-float orth_penalty_toeplitz(const nn::Conv2d& conv, int64_t in_h, int64_t in_w);
+/// Penalty ||TT^T - I||_F^2 using the Toeplitz form. When `grad` is
+/// non-null, the EXACT gradient is accumulated into it scaled by
+/// `scale`: dP/dT = 4 (TT^T - I) T chained through the Toeplitz
+/// structure (each weight element appears at every (filter, output
+/// position) slot it occupies in T, so its gradient sums those slots).
+/// `grad` must have the conv weight shape. Returns the unscaled penalty.
+float orth_penalty_toeplitz(const nn::Conv2d& conv, int64_t in_h, int64_t in_w,
+                            Tensor* grad = nullptr, float scale = 1.0f);
 
 }  // namespace capr::core

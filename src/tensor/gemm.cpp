@@ -28,6 +28,8 @@ void gemm(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_
       float* crow = c + i * N;
       for (int64_t k = k0; k < k1; ++k) {
         const float aik = arow[k];
+        // Strong zero: a pruned/masked (exactly zero) A element must
+        // contribute nothing, even against NaN/Inf in B (see gemm.h).
         if (aik == 0.0f) continue;
         const float* brow = b + k * N;
         for (int64_t j = 0; j < N; ++j) crow[j] += aik * brow[j];

@@ -4,6 +4,16 @@
 // via im2col). The implementation is a cache-blocked triple loop in ikj
 // order, which the compiler vectorises; good enough for the scaled-down
 // experiment sizes this reproduction targets.
+//
+// Semantics of zeros (intentional, pinned by tests/gemm_test.cpp):
+// `gemm` and `matmul_tn` skip rank-1 updates whose left-operand element
+// is exactly 0.0f, so zeros in A are STRONG zeros — a 0 in A annihilates
+// NaN/Inf in the corresponding B row instead of producing NaN via IEEE
+// 0*Inf. This is deliberate: pruning and masking create exact-zero
+// weights, and a masked weight must fully silence its input no matter
+// what flows through it. Nonzero entries propagate NaN/Inf normally.
+// `matmul_nt` takes the dot-product (not rank-1) form, has no skip, and
+// therefore follows plain IEEE propagation.
 #pragma once
 
 #include "tensor/tensor.h"

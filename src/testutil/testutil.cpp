@@ -1,0 +1,53 @@
+#include "testutil/testutil.h"
+
+#include <limits>
+#include <sstream>
+
+namespace capr::testing {
+
+AllcloseReport allclose_report(const Tensor& got, const Tensor& want, float atol, float rtol) {
+  AllcloseReport r;
+  if (got.shape() != want.shape()) {
+    r.ok = false;
+    r.mismatches = std::max(got.numel(), want.numel());
+    r.message = "shape mismatch: got " + to_string(got.shape()) + ", want " +
+                to_string(want.shape());
+    return r;
+  }
+  float worst_excess = 0.0f;  // how far past tolerance the worst element is
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const float g = got[i], w = want[i];
+    const float ad = std::fabs(g - w);
+    const float tol = atol + rtol * std::fabs(w);
+    const bool bad = std::isnan(ad) || ad > tol;
+    if (bad) ++r.mismatches;
+    const float excess = std::isnan(ad) ? std::numeric_limits<float>::infinity() : ad - tol;
+    if (r.worst_index < 0 || excess > worst_excess) {
+      worst_excess = excess;
+      r.worst_index = i;
+      r.got = g;
+      r.want = w;
+    }
+    if (!std::isnan(ad)) {
+      r.max_abs_diff = std::max(r.max_abs_diff, ad);
+      r.max_rel_err = std::max(r.max_rel_err, rel_err(g, w));
+    } else {
+      r.max_abs_diff = std::numeric_limits<float>::infinity();
+      r.max_rel_err = std::numeric_limits<float>::infinity();
+    }
+  }
+  r.ok = r.mismatches == 0;
+  if (!r.ok) {
+    std::ostringstream os;
+    os << r.mismatches << "/" << got.numel() << " elements outside atol=" << atol
+       << " rtol=" << rtol << "; worst at flat index " << r.worst_index << ": got " << r.got
+       << ", want " << r.want << " (|diff| "
+       << (std::isnan(r.got - r.want) ? std::numeric_limits<float>::quiet_NaN()
+                                      : std::fabs(r.got - r.want))
+       << ", max_abs_diff " << r.max_abs_diff << ")";
+    r.message = os.str();
+  }
+  return r;
+}
+
+}  // namespace capr::testing

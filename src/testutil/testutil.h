@@ -1,0 +1,80 @@
+// Numeric test helpers shared by the test suite and src/verify.
+//
+// Promoted from tests/test_util.h so that the verification subsystem
+// (gradcheck, kernel oracle) can reuse the same comparison and
+// finite-difference primitives that the unit tests assert with. Keeps no
+// GTest dependency: tests adapt AllcloseReport to EXPECT macros in
+// tests/test_util.h.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace capr::testing {
+
+/// Central finite difference d f / d x[i]. The difference quotient is
+/// computed in the objective's own precision: a float-valued f quantises
+/// the quotient at ULP(|f|) / (2 eps) — with |f| ~ 100 and eps = 1e-3
+/// that alone is ~4e-3 of gradient error — so precision-sensitive
+/// callers (gradcheck) pass a double-valued objective.
+template <typename F>
+inline auto numerical_grad(F&& f, float& x, float eps = 1e-3f) -> decltype(f()) {
+  using R = decltype(f());
+  const float saved = x;
+  x = saved + eps;
+  const R fp = f();
+  x = saved - eps;
+  const R fm = f();
+  x = saved;
+  return (fp - fm) / (R(2) * static_cast<R>(eps));
+}
+
+/// Max absolute difference between two tensors (shapes must match).
+inline float max_abs_diff(const Tensor& a, const Tensor& b) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float d = std::fabs(a[i] - b[i]);
+    m = d > m ? d : m;
+  }
+  return m;
+}
+
+/// Relative error tolerant of tiny denominators.
+inline float rel_err(float got, float want, float floor = 1e-4f) {
+  return std::fabs(got - want) / std::max(std::fabs(want), floor);
+}
+
+inline Tensor random_tensor(Shape shape, uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+/// Outcome of an element-wise tensor comparison. Unlike a bare max-diff
+/// float, pinpoints the worst offender so a failed assertion says WHERE
+/// two tensors diverge, not just by how much.
+struct AllcloseReport {
+  bool ok = true;
+  int64_t mismatches = 0;      // elements outside tolerance
+  int64_t worst_index = -1;    // flat index of the worst mismatch
+  float got = 0.0f;            // value at worst_index in `got`
+  float want = 0.0f;           // value at worst_index in `want`
+  float max_abs_diff = 0.0f;
+  float max_rel_err = 0.0f;
+  std::string message;         // human-readable summary (set when !ok)
+};
+
+/// Compares `got` against `want` element-wise. An element passes when
+/// |got - want| <= atol + rtol * |want|; NaN never passes (including
+/// NaN == NaN, so the check also catches NaN leaks). A shape mismatch
+/// fails with worst_index == -1.
+AllcloseReport allclose_report(const Tensor& got, const Tensor& want, float atol = 1e-5f,
+                               float rtol = 0.0f);
+
+}  // namespace capr::testing

@@ -1,0 +1,147 @@
+#include "verify/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "testutil/testutil.h"
+#include "tensor/rng.h"
+
+namespace capr::verify {
+namespace {
+
+std::string describe(const GradMismatch& m, float rel_tol) {
+  std::ostringstream os;
+  os << m.tensor << "[" << m.index << "]: analytic " << m.analytic << ", numeric " << m.numeric
+     << ", rel error " << m.rel_error << " > tol " << rel_tol;
+  return os.str();
+}
+
+}  // namespace
+
+void GradcheckResult::merge(const GradcheckResult& other) {
+  checked += other.checked;
+  if (other.max_rel_error > max_rel_error || worst.index < 0) {
+    max_rel_error = std::max(max_rel_error, other.max_rel_error);
+    if (other.worst.index >= 0) worst = other.worst;
+  }
+  if (!other.ok) {
+    ok = false;
+    if (!error.empty() && !other.error.empty()) error += "; ";
+    error += other.error;
+  }
+}
+
+void push_away_from_zero(Tensor& t, float min_abs) {
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (std::fabs(t[i]) < min_abs) t[i] = t[i] < 0.0f ? -min_abs : min_abs;
+  }
+}
+
+GradcheckResult check_grad(const std::function<double()>& f, Tensor& x, const Tensor& analytic,
+                           const GradcheckOptions& opts, const std::string& name) {
+  GradcheckResult r;
+  if (analytic.shape() != x.shape()) {
+    r.ok = false;
+    r.error = name + ": analytic gradient shape " + to_string(analytic.shape()) +
+              " != value shape " + to_string(x.shape());
+    return r;
+  }
+  const int64_t stride =
+      opts.max_checks > 0 ? std::max<int64_t>(1, x.numel() / opts.max_checks) : 1;
+  for (int64_t i = 0; i < x.numel(); i += stride) {
+    const double num = testing::numerical_grad(f, x[i], opts.eps);
+    const double ana = analytic[i];
+    float err;
+    if (std::isnan(num) || std::isnan(ana) || std::isinf(num) || std::isinf(ana)) {
+      err = std::numeric_limits<float>::infinity();
+    } else {
+      const double denom =
+          std::max({std::abs(num), std::abs(ana), static_cast<double>(opts.abs_floor)});
+      err = static_cast<float>(std::abs(num - ana) / denom);
+    }
+    ++r.checked;
+    if (err >= r.max_rel_error || r.worst.index < 0) {
+      r.max_rel_error = std::max(r.max_rel_error, err);
+      r.worst = {name, i, static_cast<float>(ana), static_cast<float>(num), err};
+    }
+  }
+  if (r.max_rel_error > opts.rel_tol) {
+    r.ok = false;
+    r.error = describe(r.worst, opts.rel_tol);
+  }
+  return r;
+}
+
+GradcheckResult gradcheck(nn::Layer& layer, const Shape& input_shape,
+                          const GradcheckOptions& opts) {
+  Rng rng(opts.seed);
+  Tensor x(input_shape);
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  return gradcheck(layer, std::move(x), opts);
+}
+
+GradcheckResult gradcheck(nn::Layer& layer, Tensor input, const GradcheckOptions& opts) {
+  Rng rng(opts.seed ^ 0x9E3779B9ull);  // independent of the input stream
+  Tensor x = std::move(input);
+  if (opts.input_min_abs > 0.0f) push_away_from_zero(x, opts.input_min_abs);
+
+  // Analytic pass: one forward, one backward with the projection weights.
+  for (nn::Param* p : layer.params()) p->zero_grad();
+  const Tensor y0 = layer.forward(x, opts.training);
+  Tensor w(y0.shape());
+  rng.fill_uniform(w, 0.1f, 1.0f);  // strictly positive: no output is masked
+  const Tensor gx = layer.backward(w);
+
+  const auto objective = [&]() -> double {
+    const Tensor y = layer.forward(x, opts.training);
+    double acc = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * w[i];
+    return acc;
+  };
+
+  GradcheckResult result = check_grad(objective, x, gx, opts, "input");
+  for (nn::Param* p : layer.params()) {
+    if (p->value.numel() == 0) continue;
+    result.merge(check_grad(objective, p->value, p->grad, opts,
+                            p->name.empty() ? "param" : p->name));
+  }
+  return result;
+}
+
+GradcheckResult gradcheck_regularizer(nn::Model& model, nn::Regularizer& reg,
+                                      const GradcheckOptions& opts) {
+  const std::vector<nn::Param*> params = model.params();
+  // Move values off kinks BEFORE the analytic pass: nudging them later
+  // would change the very gradient being verified.
+  if (opts.input_min_abs > 0.0f) {
+    for (nn::Param* p : params) push_away_from_zero(p->value, opts.input_min_abs);
+  }
+  for (nn::Param* p : params) p->zero_grad();
+  reg.apply(model);
+  // Snapshot every analytic gradient before the finite-difference probes
+  // re-invoke apply() (which accumulates into the live grads).
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (nn::Param* p : params) analytic.push_back(p->grad);
+
+  // The penalty itself is computed in fp32, so its value is quantised at
+  // ULP(|penalty|); keep penalties O(1) or use abs_floor accordingly.
+  const auto objective = [&]() -> double { return reg.apply(model); };
+  GradcheckResult result;
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Param* p = params[i];
+    if (p->value.numel() == 0) continue;
+    result.merge(check_grad(objective, p->value, analytic[i], opts,
+                            p->name.empty() ? ("param" + std::to_string(i)) : p->name));
+  }
+  if (result.worst.index < 0) {
+    result.ok = false;
+    result.error = "gradcheck_regularizer: model has no parameters to check";
+  }
+  return result;
+}
+
+}  // namespace capr::verify

@@ -1,0 +1,101 @@
+// Systematic gradient checking.
+//
+// The class-aware pipeline ranks filters by Taylor products |a * dL/da|
+// (paper Eq. 4): a silently wrong backward pass corrupts every importance
+// score without failing a single shape or loss-value test. This framework
+// checks any Layer's analytic backward — input gradient AND every
+// parameter gradient — against central finite differences of a random
+// linear functional of the output, and checks any Regularizer's penalty
+// gradient the same way.
+//
+// Verdicts use the symmetric relative error
+//     err = |analytic - numeric| / max(|analytic|, |numeric|, abs_floor)
+// which is the right metric for fp32 central differences: absolute
+// thresholds either drown small gradients or reject large ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace capr::verify {
+
+struct GradcheckOptions {
+  /// Central-difference step. 1e-3 balances truncation against fp32
+  /// round-off for the O(1)-scaled activations the layers produce.
+  float eps = 1e-3f;
+  /// Maximum symmetric relative error accepted per element.
+  float rel_tol = 1e-2f;
+  /// Denominator floor: gradients smaller than this are compared with an
+  /// effectively absolute tolerance of rel_tol * abs_floor.
+  float abs_floor = 1e-3f;
+  /// Seed for the random input and the random output projection.
+  uint64_t seed = 0xC0FFEEull;
+  /// Forward mode passed to the layer.
+  bool training = true;
+  /// Max elements checked per tensor (strided subset); 0 = every element.
+  int64_t max_checks = 0;
+  /// Input elements with |x| below this are pushed out to +/- this value.
+  /// Use for layers with a kink at zero (ReLU, LeakyReLU, L1 terms):
+  /// finite differences straddling the kink produce garbage there.
+  float input_min_abs = 0.0f;
+};
+
+/// The element with the largest relative error seen by a check.
+struct GradMismatch {
+  std::string tensor;  // "input" or the parameter name
+  int64_t index = -1;  // flat index within that tensor
+  float analytic = 0.0f;
+  float numeric = 0.0f;
+  float rel_error = 0.0f;
+};
+
+struct GradcheckResult {
+  bool ok = true;
+  int64_t checked = 0;        // elements compared across all tensors
+  float max_rel_error = 0.0f;
+  GradMismatch worst;         // worst element seen, even when ok
+  std::string error;          // human-readable failure description
+
+  /// Folds another check into this one (worst mismatch wins).
+  void merge(const GradcheckResult& other);
+};
+
+/// Checks `analytic` against central differences of `f` with respect to
+/// `x` (element-wise; `x` is restored after each perturbation). `name`
+/// labels the tensor in failure messages. `f` returns double: a
+/// float-valued objective quantises the difference quotient at
+/// ULP(|f|) / (2 eps), which alone can exceed rel_tol.
+GradcheckResult check_grad(const std::function<double()>& f, Tensor& x, const Tensor& analytic,
+                           const GradcheckOptions& opts = {}, const std::string& name = "x");
+
+/// Full layer check. Builds a random input of `input_shape` (batch
+/// included), takes the objective sum(layer(x) * w) for a fixed random
+/// w > 0, and verifies the input gradient plus every parameter gradient.
+/// Layers drawing fresh randomness per forward (Dropout) must be checked
+/// with training=false.
+GradcheckResult gradcheck(nn::Layer& layer, const Shape& input_shape,
+                          const GradcheckOptions& opts = {});
+
+/// Same check with a caller-supplied input — for layers whose gradient
+/// is only well-defined on structured inputs (e.g. MaxPool2d needs
+/// well-separated values so the finite-difference step cannot flip an
+/// argmax).
+GradcheckResult gradcheck(nn::Layer& layer, Tensor input, const GradcheckOptions& opts = {});
+
+/// Checks a Regularizer's penalty gradient: zeroes all grads, applies the
+/// regularizer once for the analytic gradients, then verifies them
+/// against finite differences of the returned penalty value, parameter
+/// by parameter. Use input_min_abs > eps when the penalty has an L1 term.
+GradcheckResult gradcheck_regularizer(nn::Model& model, nn::Regularizer& reg,
+                                      const GradcheckOptions& opts = {});
+
+/// Pushes every element with |x| < min_abs out to sign(x) * min_abs
+/// (zeros go positive). Keeps finite differences away from kinks.
+void push_away_from_zero(Tensor& t, float min_abs);
+
+}  // namespace capr::verify

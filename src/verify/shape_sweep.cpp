@@ -1,0 +1,267 @@
+#include "verify/shape_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+#include "testutil/testutil.h"
+#include "verify/oracle.h"
+
+namespace capr::verify {
+namespace {
+
+using testing::AllcloseReport;
+using testing::allclose_report;
+
+Tensor random(Rng& rng, Shape shape, float lo = -1.0f, float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+/// Folds one comparison into the sweep result; keeps the first failure.
+void record(SweepResult& r, const AllcloseReport& cmp, const std::string& kernel,
+            const std::string& config) {
+  if (cmp.ok) return;
+  ++r.failures;
+  if (r.first_failure.empty()) {
+    r.first_failure = kernel + " @ " + config + ": " + cmp.message;
+  }
+}
+
+/// Exact bitwise comparison (memcmp over the float buffers).
+AllcloseReport bitwise_report(const Tensor& got, const Tensor& want) {
+  AllcloseReport r;
+  if (got.shape() != want.shape()) {
+    r.ok = false;
+    r.message = "shape mismatch: got " + to_string(got.shape()) + ", want " +
+                to_string(want.shape());
+    return r;
+  }
+  if (std::memcmp(got.data(), want.data(),
+                  static_cast<size_t>(got.numel()) * sizeof(float)) == 0) {
+    return r;
+  }
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    if (std::memcmp(got.data() + i, want.data() + i, sizeof(float)) != 0) {
+      ++r.mismatches;
+      if (r.worst_index < 0) {
+        r.worst_index = i;
+        r.got = got[i];
+        r.want = want[i];
+      }
+    }
+  }
+  r.ok = false;
+  std::ostringstream os;
+  os << r.mismatches << "/" << got.numel() << " elements differ bitwise; first at flat index "
+     << r.worst_index << ": got " << r.got << ", want " << r.want;
+  r.message = os.str();
+  return r;
+}
+
+/// Random valid conv geometry (output guaranteed non-empty).
+ConvGeom random_geom(Rng& rng) {
+  ConvGeom g;
+  g.in_channels = 1 + rng.uniform_int(4);
+  g.kernel_h = 1 + rng.uniform_int(3);
+  g.kernel_w = g.kernel_h;  // layers only support square kernels
+  g.stride = 1 + rng.uniform_int(2);
+  g.padding = rng.uniform_int(3);
+  g.in_h = g.kernel_h + rng.uniform_int(10);
+  g.in_w = g.kernel_w + rng.uniform_int(10);
+  return g;
+}
+
+std::string geom_string(const ConvGeom& g) {
+  std::ostringstream os;
+  os << "Cin=" << g.in_channels << " H=" << g.in_h << " W=" << g.in_w << " k=" << g.kernel_h
+     << " stride=" << g.stride << " pad=" << g.padding;
+  return os.str();
+}
+
+/// Pins the worker count for one scope; restores the previous setting.
+struct ThreadScope {
+  int saved;
+  explicit ThreadScope(int n) : saved(num_threads()) { set_num_threads(n); }
+  ~ThreadScope() { set_num_threads(saved); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+};
+
+}  // namespace
+
+SweepResult sweep_gemm(const SweepOptions& opts) {
+  Rng rng(opts.seed);
+  SweepResult r;
+  for (int cfg = 0; cfg < opts.configs; ++cfg) {
+    const int64_t m = 1 + rng.uniform_int(48);
+    const int64_t k = 1 + rng.uniform_int(48);
+    const int64_t n = 1 + rng.uniform_int(48);
+    std::ostringstream cs;
+    cs << "M=" << m << " K=" << k << " N=" << n;
+    const std::string config = cs.str();
+
+    const Tensor a = random(rng, {m, k});
+    const Tensor b = random(rng, {k, n});
+    record(r, allclose_report(matmul(a, b), ref_matmul(a, b), opts.atol, opts.rtol), "matmul",
+           config);
+
+    const Tensor bt = random(rng, {n, k});
+    record(r, allclose_report(matmul_nt(a, bt), ref_matmul_nt(a, bt), opts.atol, opts.rtol),
+           "matmul_nt", config);
+
+    const Tensor at = random(rng, {k, m});
+    record(r, allclose_report(matmul_tn(at, b), ref_matmul_tn(at, b), opts.atol, opts.rtol),
+           "matmul_tn", config);
+
+    // Raw kernel, accumulate path: both start from the same random C.
+    Tensor c_opt = random(rng, {m, n});
+    Tensor c_ref = c_opt;
+    gemm(a.data(), b.data(), c_opt.data(), m, k, n, /*accumulate=*/true);
+    ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n, /*accumulate=*/true);
+    record(r, allclose_report(c_opt, c_ref, opts.atol, opts.rtol), "gemm(accumulate)", config);
+
+    ++r.configs_run;
+  }
+  return r;
+}
+
+SweepResult sweep_im2col(const SweepOptions& opts) {
+  Rng rng(opts.seed);
+  SweepResult r;
+  for (int cfg = 0; cfg < opts.configs; ++cfg) {
+    const ConvGeom g = random_geom(rng);
+    const std::string config = geom_string(g);
+
+    const Tensor im = random(rng, {g.in_channels, g.in_h, g.in_w});
+    const Tensor col_opt = im2col(im, g);
+    const Tensor col_ref = ref_im2col(im, g);
+    // Pure data movement: the optimized path must match exactly.
+    record(r, allclose_report(col_opt, col_ref, 0.0f, 0.0f), "im2col", config);
+
+    const Tensor y = random(rng, {g.col_rows(), g.col_cols()});
+    const Tensor im_opt = col2im(y, g);
+    const Tensor im_ref = ref_col2im(y, g);
+    record(r, allclose_report(im_opt, im_ref, opts.atol, opts.rtol), "col2im", config);
+
+    // Adjoint identity: <im2col(x), y> == <x, col2im(y)>. Catches index
+    // bugs that a direct comparison against a same-shaped-but-wrong
+    // reference could miss.
+    double lhs = 0.0, rhs = 0.0;
+    for (int64_t i = 0; i < col_ref.numel(); ++i) {
+      lhs += static_cast<double>(col_opt[i]) * y[i];
+    }
+    for (int64_t i = 0; i < im.numel(); ++i) {
+      rhs += static_cast<double>(im[i]) * im_opt[i];
+    }
+    const double scale = std::max({std::abs(lhs), std::abs(rhs), 1.0});
+    if (std::abs(lhs - rhs) > 1e-4 * scale) {
+      ++r.failures;
+      if (r.first_failure.empty()) {
+        std::ostringstream os;
+        os << "im2col/col2im adjoint @ " << config << ": <im2col(x),y>=" << lhs
+           << " but <x,col2im(y)>=" << rhs;
+        r.first_failure = os.str();
+      }
+    }
+    ++r.configs_run;
+  }
+  return r;
+}
+
+SweepResult sweep_conv2d(const SweepOptions& opts) {
+  Rng rng(opts.seed);
+  SweepResult r;
+  for (int cfg = 0; cfg < opts.configs; ++cfg) {
+    const ConvGeom g = random_geom(rng);
+    const int64_t n = 1 + rng.uniform_int(3);
+    const int64_t cout = 1 + rng.uniform_int(5);
+    const bool bias = rng.uniform() < 0.5f;
+    std::ostringstream cs;
+    cs << "N=" << n << " Cout=" << cout << " bias=" << bias << " " << geom_string(g);
+    const std::string config = cs.str();
+
+    nn::Conv2d conv(g.in_channels, cout, g.kernel_h, g.stride, g.padding, bias);
+    rng.fill_uniform(conv.weight().value, -1.0f, 1.0f);
+    if (bias) rng.fill_uniform(conv.bias().value, -1.0f, 1.0f);
+    const Tensor x = random(rng, {n, g.in_channels, g.in_h, g.in_w});
+
+    const Tensor y = conv.forward(x, /*training=*/true);
+    const Tensor y_ref = ref_conv2d_forward(x, conv.weight().value,
+                                            bias ? conv.bias().value : Tensor(), g.stride,
+                                            g.padding);
+    record(r, allclose_report(y, y_ref, opts.atol, opts.rtol), "conv2d.forward", config);
+
+    const Tensor go = random(rng, y.shape());
+    for (nn::Param* p : conv.params()) p->zero_grad();
+    const Tensor gx = conv.backward(go);
+    const RefConvGrads ref =
+        ref_conv2d_backward(x, conv.weight().value, bias, g.stride, g.padding, go);
+    record(r, allclose_report(gx, ref.input, opts.atol, opts.rtol), "conv2d.grad_input",
+           config);
+    record(r, allclose_report(conv.weight().grad, ref.weight, opts.atol, opts.rtol),
+           "conv2d.grad_weight", config);
+    if (bias) {
+      record(r, allclose_report(conv.bias().grad, ref.bias, opts.atol, opts.rtol),
+             "conv2d.grad_bias", config);
+    }
+    ++r.configs_run;
+  }
+  return r;
+}
+
+SweepResult sweep_conv2d_determinism(const SweepOptions& opts) {
+  Rng rng(opts.seed);
+  SweepResult r;
+  for (int cfg = 0; cfg < opts.configs; ++cfg) {
+    const ConvGeom g = random_geom(rng);
+    const int64_t n = 2 + rng.uniform_int(6);  // enough rows to actually split
+    const int64_t cout = 1 + rng.uniform_int(5);
+    const bool bias = rng.uniform() < 0.5f;
+    std::ostringstream cs;
+    cs << "N=" << n << " Cout=" << cout << " bias=" << bias << " " << geom_string(g);
+    const std::string config = cs.str();
+
+    nn::Conv2d conv(g.in_channels, cout, g.kernel_h, g.stride, g.padding, bias);
+    rng.fill_uniform(conv.weight().value, -1.0f, 1.0f);
+    if (bias) rng.fill_uniform(conv.bias().value, -1.0f, 1.0f);
+    const Tensor x = random(rng, {n, g.in_channels, g.in_h, g.in_w});
+
+    Tensor y1, gx1, gw1, gb1;
+    {
+      ThreadScope threads(1);
+      for (nn::Param* p : conv.params()) p->zero_grad();
+      y1 = conv.forward(x, true);
+      const Tensor go = random(rng, y1.shape());
+      gx1 = conv.backward(go);
+      gw1 = conv.weight().grad;
+      if (bias) gb1 = conv.bias().grad;
+
+      ThreadScope threads_n(opts.threads_high);
+      for (nn::Param* p : conv.params()) p->zero_grad();
+      const Tensor yn = conv.forward(x, true);
+      const Tensor gxn = conv.backward(go);
+
+      record(r, bitwise_report(yn, y1), "conv2d.forward determinism", config);
+      record(r, bitwise_report(gxn, gx1), "conv2d.grad_input determinism", config);
+      // Weight/bias grads cross a per-thread reduction: reassociation may
+      // move the last ulps, so these are tight-tolerance, not bitwise.
+      record(r, allclose_report(conv.weight().grad, gw1, 1e-5f, 1e-5f),
+             "conv2d.grad_weight determinism", config);
+      if (bias) {
+        record(r, allclose_report(conv.bias().grad, gb1, 1e-5f, 1e-5f),
+               "conv2d.grad_bias determinism", config);
+      }
+    }
+    ++r.configs_run;
+  }
+  return r;
+}
+
+}  // namespace capr::verify

@@ -1,0 +1,55 @@
+// Randomized differential sweeps: optimized kernels vs the naive oracle.
+//
+// Each sweep draws `configs` randomized (seeded, hence reproducible)
+// shape configurations — sizes, strides, paddings, bias on/off — runs
+// both the optimized kernel and its reference from oracle.h, and
+// compares element-wise. The first divergence is reported with the full
+// configuration string and the worst element, so a failure is directly
+// re-runnable: same seed, same configs, same order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace capr::verify {
+
+struct SweepOptions {
+  /// Randomized configurations per sweep (acceptance floor is 50).
+  int configs = 60;
+  uint64_t seed = 0x5EEDull;
+  /// Comparison tolerances. The optimized GEMMs accumulate in a different
+  /// order (some in fp32), so exact equality is not expected; these
+  /// bounds hold with wide margin for the swept sizes.
+  float atol = 1e-4f;
+  float rtol = 1e-3f;
+  /// Worker count used as the "N" of the 1-vs-N determinism sweep.
+  int threads_high = 8;
+};
+
+struct SweepResult {
+  int configs_run = 0;
+  int failures = 0;
+  std::string first_failure;  // config + worst-element description
+  bool ok() const { return configs_run > 0 && failures == 0; }
+};
+
+/// matmul / matmul_nt / matmul_tn / raw gemm (incl. accumulate path)
+/// against ref_* over random (M, K, N).
+SweepResult sweep_gemm(const SweepOptions& opts = {});
+
+/// im2col and col2im against the references over random geometries, plus
+/// the adjoint identity <im2col(x), y> == <x, col2im(y)>.
+SweepResult sweep_im2col(const SweepOptions& opts = {});
+
+/// Conv2d forward AND backward (input/weight/bias grads) against the
+/// direct-convolution reference over random geometries.
+SweepResult sweep_conv2d(const SweepOptions& opts = {});
+
+/// Determinism of the parallel_for-lowered Conv2d paths: with 1 worker vs
+/// `threads_high` workers, forward output and input gradient must be
+/// BITWISE identical (disjoint writes per batch element); weight/bias
+/// gradients are per-thread-reduced and may reassociate, so they are
+/// held to a tight tolerance instead.
+SweepResult sweep_conv2d_determinism(const SweepOptions& opts = {});
+
+}  // namespace capr::verify

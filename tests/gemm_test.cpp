@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "test_util.h"
@@ -86,6 +88,59 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
                                            std::tuple{8, 8, 8}, std::tuple{17, 31, 13},
                                            std::tuple{64, 150, 33}, std::tuple{2, 200, 2},
                                            std::tuple{129, 7, 5}));
+
+// Pins the documented zero-skip semantics (gemm.h): exact zeros in A are
+// STRONG zeros — they annihilate NaN/Inf in B instead of producing NaN
+// via IEEE 0*Inf — because pruned/masked weights are exact zeros and must
+// fully silence whatever flows through them. Nonzero entries propagate
+// NaN/Inf normally. A regression here means the fast path changed
+// observable numerics, not just speed.
+TEST(GemmNanSemanticsTest, ZeroInAAnnihilatesNanAndInfInB) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // Row 0 of A is all zeros: its output row must be exactly 0 even though
+  // every element of B is non-finite. Row 1 mixes a zero against the NaN
+  // column with a nonzero against the Inf column.
+  Tensor a = Tensor::from({2, 2}, {0.0f, 0.0f, 0.0f, 2.0f});
+  Tensor b = Tensor::from({2, 2}, {nan, inf, 1.0f, 3.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c[0], 0.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+  EXPECT_FLOAT_EQ(c[2], 2.0f);  // 0*nan skipped + 2*1
+  EXPECT_FLOAT_EQ(c[3], 6.0f);  // 0*inf skipped + 2*3
+}
+
+TEST(GemmNanSemanticsTest, NonzeroInAPropagatesNanAndInf) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::from({1, 2}, {1.0f, 0.0f});
+  Tensor b = Tensor::from({2, 2}, {nan, inf, 5.0f, 5.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));
+  EXPECT_TRUE(std::isinf(c[1]));
+}
+
+TEST(GemmNanSemanticsTest, MatmulTnSharesTheStrongZeroRule) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // matmul_tn skips on A^T's zeros the same way (rank-1 update form).
+  Tensor at = Tensor::from({1, 2}, {0.0f, 1.0f});  // A^T: k=1, m=2
+  Tensor b = Tensor::from({1, 1}, {nan});
+  const Tensor c = matmul_tn(at, b);
+  EXPECT_FLOAT_EQ(c[0], 0.0f);     // zero row of A^T silences the NaN
+  EXPECT_TRUE(std::isnan(c[1]));   // nonzero row propagates it
+}
+
+TEST(GemmNanSemanticsTest, StrongZeroHoldsInsideTheBlockedLoop) {
+  // Exercise the K-blocked path (K > 128): a zero A row over a B full of
+  // NaN must still produce exact zeros after crossing block boundaries.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const int64_t k = 300;
+  Tensor a({1, k});                 // all zeros
+  Tensor b({k, 2}, nan);
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c[0], 0.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
 
 }  // namespace
 }  // namespace capr

@@ -1,0 +1,311 @@
+// Systematic gradcheck of every layer in src/nn and of the modified loss
+// (paper Eq. 1-2), including the exact Toeplitz-form orthogonality
+// gradient. These are the checks that keep Taylor importance scores
+// (|a * dL/da|, Eq. 4) trustworthy: a silently wrong backward would skew
+// filter ranking without failing any forward-value test.
+#include "verify/gradcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/modified_loss.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "test_util.h"
+
+namespace capr::verify {
+namespace {
+
+void fill_params(nn::Layer& layer, uint64_t seed, float lo = -0.6f, float hi = 0.6f) {
+  Rng rng(seed);
+  for (nn::Param* p : layer.params()) rng.fill_uniform(p->value, lo, hi);
+}
+
+void expect_ok(const GradcheckResult& r) {
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_LT(r.max_rel_error, 1e-2f) << "worst: " << r.worst.tensor << "[" << r.worst.index
+                                    << "] analytic " << r.worst.analytic << " numeric "
+                                    << r.worst.numeric;
+  EXPECT_GT(r.checked, 0);
+}
+
+/// Input whose elements are all distinct with gaps far beyond the
+/// finite-difference step, so pooling argmaxes cannot flip.
+Tensor separated_input(const Shape& shape, uint64_t seed) {
+  Tensor t(shape);
+  std::vector<int64_t> order(static_cast<size_t>(t.numel()));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(order);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = 0.05f * static_cast<float>(order[static_cast<size_t>(i)]) - 0.02f;
+  }
+  return t;
+}
+
+TEST(GradcheckLayerTest, Conv2dStridePaddingBiasVariants) {
+  struct Cfg {
+    int64_t cin, cout, k, stride, pad;
+    bool bias;
+    Shape in;
+  };
+  const Cfg cfgs[] = {
+      {2, 3, 3, 1, 1, true, {2, 2, 5, 5}},
+      {1, 2, 3, 2, 1, false, {2, 1, 6, 6}},
+      {3, 4, 1, 1, 0, true, {2, 3, 4, 4}},
+      {2, 2, 2, 2, 0, false, {1, 2, 6, 6}},
+  };
+  int i = 0;
+  for (const Cfg& c : cfgs) {
+    nn::Conv2d conv(c.cin, c.cout, c.k, c.stride, c.pad, c.bias);
+    fill_params(conv, 100 + static_cast<uint64_t>(i));
+    GradcheckOptions opts;
+    opts.seed = 200 + static_cast<uint64_t>(i++);
+    expect_ok(gradcheck(conv, c.in, opts));
+  }
+}
+
+TEST(GradcheckLayerTest, LinearWithAndWithoutBias) {
+  nn::Linear with_bias(6, 4, true);
+  fill_params(with_bias, 7);
+  expect_ok(gradcheck(with_bias, Shape{3, 6}));
+
+  nn::Linear no_bias(5, 3, false);
+  fill_params(no_bias, 8);
+  expect_ok(gradcheck(no_bias, Shape{4, 5}));
+}
+
+TEST(GradcheckLayerTest, Flatten) {
+  nn::Flatten flatten;
+  expect_ok(gradcheck(flatten, Shape{2, 3, 4, 4}));
+}
+
+TEST(GradcheckLayerTest, BatchNormTrainingMode) {
+  nn::BatchNorm2d bn(3);
+  Rng rng(21);
+  rng.fill_uniform(bn.gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.beta().value, -0.5f, 0.5f);
+  GradcheckOptions opts;
+  opts.training = true;
+  // Training-mode BN input gradients are tiny (mean subtraction cancels
+  // most of each perturbation), while the objective's fp32 forward has
+  // ULP-level noise. A larger step and denominator floor keep the check
+  // above that noise without loosening the relative tolerance.
+  opts.eps = 3e-2f;
+  opts.abs_floor = 5e-3f;
+  expect_ok(gradcheck(bn, Shape{4, 3, 5, 5}, opts));
+}
+
+TEST(GradcheckLayerTest, BatchNormEvalModeUsesRunningStatsAsConstants) {
+  nn::BatchNorm2d bn(3);
+  Rng rng(22);
+  rng.fill_uniform(bn.gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.beta().value, -0.5f, 0.5f);
+  rng.fill_uniform(bn.running_mean(), -0.5f, 0.5f);
+  rng.fill_uniform(bn.running_var(), 0.5f, 1.5f);
+  GradcheckOptions opts;
+  opts.training = false;  // the mode importance scoring differentiates in
+  expect_ok(gradcheck(bn, Shape{3, 3, 4, 4}, opts));
+}
+
+TEST(GradcheckLayerTest, ReLUAwayFromKink) {
+  nn::ReLU relu;
+  GradcheckOptions opts;
+  opts.input_min_abs = 0.05f;  // central differences must not straddle 0
+  expect_ok(gradcheck(relu, Shape{2, 3, 4, 4}, opts));
+}
+
+TEST(GradcheckLayerTest, LeakyReLUAwayFromKink) {
+  nn::LeakyReLU leaky(0.1f);
+  GradcheckOptions opts;
+  opts.input_min_abs = 0.05f;
+  expect_ok(gradcheck(leaky, Shape{2, 3, 4, 4}, opts));
+}
+
+TEST(GradcheckLayerTest, MaxPoolOnSeparatedInput) {
+  nn::MaxPool2d pool(2);
+  expect_ok(gradcheck(pool, separated_input({2, 2, 6, 6}, 31)));
+  nn::MaxPool2d strided(3, 2);
+  expect_ok(gradcheck(strided, separated_input({1, 2, 7, 7}, 32)));
+}
+
+TEST(GradcheckLayerTest, AvgPools) {
+  nn::AvgPool2d avg(2);
+  expect_ok(gradcheck(avg, Shape{2, 3, 6, 6}));
+  nn::GlobalAvgPool gap;
+  expect_ok(gradcheck(gap, Shape{2, 4, 5, 5}));
+}
+
+TEST(GradcheckLayerTest, DropoutInEvalModeIsIdentity) {
+  nn::Dropout dropout(0.5f);
+  GradcheckOptions opts;
+  opts.training = false;  // train-mode dropout redraws its mask per forward
+  expect_ok(gradcheck(dropout, Shape{3, 4, 2, 2}, opts));
+}
+
+TEST(GradcheckLayerTest, SequentialConvBnReluComposite) {
+  nn::Sequential seq;
+  auto* conv = seq.add(std::make_unique<nn::Conv2d>(2, 3, 3, 1, 1, false));
+  auto* bn = seq.add(std::make_unique<nn::BatchNorm2d>(3));
+  seq.add(std::make_unique<nn::ReLU>());
+  fill_params(*conv, 41);
+  Rng rng(42);
+  rng.fill_uniform(bn->gamma().value, 0.5f, 1.5f);
+  rng.fill_uniform(bn->beta().value, -0.5f, 0.5f);
+  GradcheckOptions opts;
+  opts.seed = 55;
+  // Composite-specific noise the per-layer checks never see: BN couples
+  // every input element to ALL downstream ReLU pre-activations, so some
+  // probe always pushes one across its kink, and that error is bounded
+  // by the local slope change — it does NOT shrink with eps. The strict
+  // 1e-2 guarantee lives in the per-layer tests above; this test exists
+  // to catch composition bugs, which produce O(1) relative errors.
+  opts.rel_tol = 0.1f;
+  opts.abs_floor = 5e-3f;
+  const GradcheckResult r = gradcheck(seq, Shape{2, 2, 5, 5}, opts);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_LT(r.max_rel_error, 0.1f)
+      << "worst: " << r.worst.tensor << "[" << r.worst.index << "] analytic " << r.worst.analytic
+      << " numeric " << r.worst.numeric;
+}
+
+// ---- modified loss: L = L_CE + l1*||W||_1 + l2*||KK^T - I||_F^2 ------------
+
+TEST(GradcheckModifiedLossTest, FilterMatrixFormPenaltyGradient) {
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 3;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  nn::Model model = models::make_tiny_cnn(mcfg);
+
+  core::ModifiedLossConfig cfg;
+  cfg.lambda1 = 1e-2f;  // scaled up so both terms are visible to fp32 diffs
+  cfg.lambda2 = 1e-2f;
+  cfg.orth_form = core::OrthForm::kFilterMatrix;
+  core::ModifiedLoss reg(cfg);
+
+  GradcheckOptions opts;
+  // reg.apply returns a float: the penalty value is quantised at
+  // ULP(|penalty|), so the step must be large enough that the true
+  // difference dominates that quantisation. The L1 kink then needs
+  // weights pushed out past eps.
+  opts.eps = 1e-2f;
+  opts.input_min_abs = 2e-2f;
+  opts.max_checks = 60;
+  expect_ok(gradcheck_regularizer(model, reg, opts));
+}
+
+TEST(GradcheckModifiedLossTest, ToeplitzFormPenaltyGradient) {
+  // Hand-built single-conv model: the dense Toeplitz operator is
+  // O((Cout*OH*OW)^2), so the geometry stays tiny.
+  nn::Model model;
+  model.net = std::make_unique<nn::Sequential>();
+  auto* conv = model.net->add(std::make_unique<nn::Conv2d>(1, 2, 2, 1, 0, false));
+  conv->set_name("conv0");
+  fill_params(*conv, 51);
+
+  core::ModifiedLossConfig cfg;
+  cfg.lambda1 = 1e-2f;
+  cfg.lambda2 = 1e-2f;
+  cfg.orth_form = core::OrthForm::kToeplitz;
+  cfg.toeplitz_h = 4;
+  cfg.toeplitz_w = 4;
+  core::ModifiedLoss reg(cfg);
+
+  GradcheckOptions opts;
+  opts.input_min_abs = 5e-3f;
+  expect_ok(gradcheck_regularizer(model, reg, opts));
+}
+
+TEST(GradcheckModifiedLossTest, ToeplitzPenaltyGradientDirect) {
+  nn::Conv2d conv(2, 2, 3, 1, 1, false);
+  fill_params(conv, 61);
+  // Analytic gradient, unscaled.
+  Tensor analytic(conv.weight().value.shape());
+  core::orth_penalty_toeplitz(conv, 5, 5, &analytic, 1.0f);
+  const auto f = [&]() { return core::orth_penalty_toeplitz(conv, 5, 5); };
+  GradcheckOptions opts;
+  // The penalty is O(100) while eps stays 1e-3: loosen the floor so
+  // round-off on the big objective doesn't read as gradient error.
+  opts.abs_floor = 0.05f;
+  const GradcheckResult r = check_grad(f, conv.weight().value, analytic, opts, "conv.weight");
+  expect_ok(r);
+}
+
+TEST(GradcheckModifiedLossTest, FullTrainingGradientThroughNetwork) {
+  // End-to-end: d(L_CE + penalties)/dW for every parameter of the tiny
+  // CNN, against finite differences of the complete scalar loss. This is
+  // the exact gradient the trainer descends and importance scoring reads.
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 3;
+  mcfg.input_size = 6;
+  mcfg.width_mult = 0.25f;
+  nn::Model model = models::make_tiny_cnn(mcfg);
+
+  data::SyntheticCifarConfig dcfg;
+  dcfg.num_classes = 3;
+  dcfg.train_per_class = 2;
+  dcfg.test_per_class = 1;
+  dcfg.image_size = 6;
+  const data::SyntheticCifar data = data::make_synthetic_cifar(dcfg);
+  const data::Batch batch = data.train.slice(0, 4);
+
+  core::ModifiedLossConfig cfg;
+  cfg.lambda1 = 1e-2f;
+  cfg.lambda2 = 1e-2f;
+  core::ModifiedLoss reg(cfg);
+
+  GradcheckOptions opts;
+  opts.max_checks = 20;
+  // End-to-end tolerances: perturbing an early-layer weight moves EVERY
+  // downstream ReLU/MaxPool pre-activation, so some probes inevitably
+  // straddle a kink; and the fp32 loss is quantised at ULP(|L|). The
+  // layer-level suites above pin each backward at 1e-2 — this test exists
+  // to catch wiring bugs (missed terms, wrong lambda, double-counted
+  // grads), which show up as O(1) relative errors.
+  opts.eps = 2e-3f;
+  opts.input_min_abs = 5e-3f;  // keep weights off the L1 kink
+  opts.abs_floor = 2e-2f;
+  opts.rel_tol = 0.25f;
+  const std::vector<nn::Param*> params = model.params();
+  for (nn::Param* p : params) push_away_from_zero(p->value, opts.input_min_abs);
+
+  // Analytic pass.
+  for (nn::Param* p : params) p->zero_grad();
+  nn::SoftmaxCrossEntropy ce;
+  ce.forward(model.forward(batch.images, /*training=*/false), batch.labels);
+  model.backward(ce.backward());
+  reg.apply(model);
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (nn::Param* p : params) analytic.push_back(p->grad);
+
+  const auto loss = [&]() {
+    nn::SoftmaxCrossEntropy probe;
+    const float data_loss = probe.forward(model.forward(batch.images, false), batch.labels);
+    return data_loss + reg.apply(model);
+  };
+  GradcheckResult total;
+  for (size_t i = 0; i < params.size(); ++i) {
+    total.merge(check_grad(loss, params[i]->value, analytic[i], opts,
+                           params[i]->name.empty() ? "param" : params[i]->name));
+  }
+  EXPECT_TRUE(total.ok) << total.error;
+  EXPECT_LT(total.max_rel_error, 0.25f)
+      << "worst: " << total.worst.tensor << "[" << total.worst.index << "] analytic "
+      << total.worst.analytic << " numeric " << total.worst.numeric;
+  EXPECT_GT(total.checked, 0);
+}
+
+}  // namespace
+}  // namespace capr::verify

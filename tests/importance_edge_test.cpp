@@ -1,0 +1,182 @@
+// Edge cases of the class-aware importance evaluation (Eqs. 5-7):
+// networks whose score-point activations are identically zero, datasets
+// with a single class, and the paper's tau = 1e-50 binarization
+// threshold at the float32 boundary.
+#include "core/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "test_util.h"
+
+namespace capr::core {
+namespace {
+
+struct Fixture {
+  nn::Model model;
+  data::SyntheticCifar data;
+
+  Fixture() {
+    models::BuildConfig mcfg;
+    mcfg.num_classes = 3;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.25f;
+    model = models::make_tiny_cnn(mcfg);
+    data::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 3;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 2;
+    dcfg.image_size = 8;
+    data = make_synthetic_cifar(dcfg);
+  }
+};
+
+// A one-class dataset, built directly: make_synthetic_cifar validates
+// num_classes >= 2, and the evaluator must not depend on the generator.
+data::Dataset single_class_dataset(int64_t n, uint64_t seed) {
+  return data::Dataset(capr::testing::random_tensor({n, 3, 8, 8}, seed, 0.0f, 1.0f),
+                       std::vector<int64_t>(static_cast<size_t>(n), 0), /*num_classes=*/1);
+}
+
+void silence_all_units(nn::Model& model) {
+  for (nn::PrunableUnit& unit : model.units) {
+    unit.conv->weight().value.fill(0.0f);
+    if (unit.conv->has_bias()) unit.conv->bias().value.fill(0.0f);
+    unit.bn->gamma().value.fill(0.0f);
+    unit.bn->beta().value.fill(0.0f);
+    unit.bn->running_mean().fill(0.0f);
+  }
+}
+
+TEST(ImportanceEdgeTest, AllZeroActivationsScoreZeroWithoutNaNs) {
+  Fixture f;
+  silence_all_units(f.model);
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 4});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  ASSERT_FALSE(res.units.empty());
+  for (const UnitScores& u : res.units) {
+    for (float s : u.total) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_FLOAT_EQ(s, 0.0f);
+    }
+    for (const auto& cls : u.per_class) {
+      for (float s : cls) {
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_FLOAT_EQ(s, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(ImportanceEdgeTest, AllZeroActivationsExactModeAlsoFinite) {
+  // Exact mode (Eq. 3) computes |L - L(a<-0)|: zeroing an already-zero
+  // activation must give exactly 0, not NaN from a degenerate loss delta.
+  Fixture f;
+  silence_all_units(f.model);
+  ImportanceEvaluator eval(
+      ImportanceConfig{.images_per_class = 2, .mode = ScoreMode::kExactZeroOut});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  for (const UnitScores& u : res.units) {
+    for (float s : u.total) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_FLOAT_EQ(s, 0.0f);
+    }
+  }
+}
+
+TEST(ImportanceEdgeTest, SingleClassDatasetScoresStayInUnitRange) {
+  // C = 1 collapses Eq. 6's class loop: per_class has one row and the
+  // total equals it. The model keeps 3 logits, so cross-entropy
+  // gradients (and hence Taylor scores) stay non-trivial.
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 3;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  nn::Model model = models::make_tiny_cnn(mcfg);
+  const data::Dataset train = single_class_dataset(8, 77);
+  ASSERT_EQ(train.num_classes(), 1);
+
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 4});
+  const ImportanceResult res = eval.evaluate(model, train);
+  EXPECT_EQ(res.num_classes, 1);
+  bool any_positive = false;
+  for (const UnitScores& u : res.units) {
+    ASSERT_EQ(u.per_class.size(), 1u);
+    for (size_t i = 0; i < u.total.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(u.total[i]));
+      EXPECT_GE(u.total[i], 0.0f);
+      EXPECT_LE(u.total[i], 1.0f + 1e-6f);
+      EXPECT_FLOAT_EQ(u.total[i], u.per_class[0][i]);
+      any_positive = any_positive || u.total[i] > 0.0f;
+    }
+  }
+  EXPECT_TRUE(any_positive) << "a random 3-logit model on real images should score > 0";
+}
+
+TEST(ImportanceEdgeTest, SingleClassSingleLogitModelHasZeroGradients) {
+  // One class AND one logit: softmax is constantly 1, the cross-entropy
+  // is exactly 0, and every Taylor score |a * dL/da| collapses to 0.
+  // The evaluator must report that honestly instead of dividing by it.
+  models::BuildConfig mcfg;
+  mcfg.num_classes = 1;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  nn::Model model = models::make_tiny_cnn(mcfg);
+  const data::Dataset train = single_class_dataset(6, 78);
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 2});
+  const ImportanceResult res = eval.evaluate(model, train);
+  for (const UnitScores& u : res.units) {
+    for (float s : u.total) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_FLOAT_EQ(s, 0.0f);
+    }
+  }
+}
+
+TEST(ImportanceEdgeTest, PaperTauUnderflowsToZeroInFloat32) {
+  // The paper's tau = 1e-50 (Eq. 5) is far below the smallest positive
+  // float32 denormal (~1.4e-45): as a float literal it IS 0.0f. The
+  // binarisation t > tau therefore means "strictly positive" — pin that
+  // reading so nobody "fixes" the constant to a nonzero denormal later.
+  EXPECT_EQ(static_cast<float>(1e-50), 0.0f);
+}
+
+TEST(ImportanceEdgeTest, TauAtFloatBoundaryEqualsStrictlyPositiveRule) {
+  // tau = 1e-50f and tau = 0.0f must binarise identically (both compare
+  // against exactly zero), for normal and for all-zero activations.
+  Fixture f;
+  // static_cast instead of a 1e-50f literal: gcc warns on the literal's
+  // truncation, which is exactly the behaviour under test.
+  ImportanceEvaluator underflow(
+      ImportanceConfig{.images_per_class = 3, .tau = static_cast<float>(1e-50)});
+  ImportanceEvaluator zero(ImportanceConfig{.images_per_class = 3, .tau = 0.0f});
+  const ImportanceResult a = underflow.evaluate(f.model, f.data.train);
+  const ImportanceResult b = zero.evaluate(f.model, f.data.train);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (size_t u = 0; u < a.units.size(); ++u) {
+    EXPECT_EQ(a.units[u].total, b.units[u].total);
+  }
+}
+
+TEST(ImportanceEdgeTest, StrictInequalityExcludesExactZeroScores) {
+  // Eq. 5 uses t > tau, not >=: a dead filter (activation scores exactly
+  // zero) must stay at score 0 even when tau itself is zero.
+  Fixture f;
+  nn::PrunableUnit& unit = f.model.units[0];
+  const int64_t fsz = unit.conv->in_channels() * unit.conv->kernel() * unit.conv->kernel();
+  for (int64_t i = 0; i < fsz; ++i) unit.conv->weight().value[fsz + i] = 0.0f;
+  if (unit.conv->has_bias()) unit.conv->bias().value[1] = 0.0f;
+  unit.bn->gamma().value[1] = 0.0f;
+  unit.bn->beta().value[1] = 0.0f;
+  unit.bn->running_mean()[1] = 0.0f;
+
+  ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 4, .tau = 0.0f});
+  const ImportanceResult res = eval.evaluate(f.model, f.data.train);
+  EXPECT_FLOAT_EQ(res.units[0].total[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace capr::core

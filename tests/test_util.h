@@ -1,45 +1,27 @@
 // Shared helpers for the test suite.
+//
+// The numeric primitives (numerical_grad, max_abs_diff, rel_err,
+// random_tensor, allclose_report) live in the capr_testutil library
+// (src/testutil/testutil.h) so that src/verify can use them too; this
+// header re-exports them and adds the GTest adapters.
 #pragma once
 
-#include <cmath>
-#include <functional>
+#include <gtest/gtest.h>
 
-#include "tensor/rng.h"
-#include "tensor/tensor.h"
+#include "testutil/testutil.h"
 
 namespace capr::testing {
 
-/// Central finite difference d f / d x[i].
-inline float numerical_grad(const std::function<float()>& f, float& x, float eps = 1e-3f) {
-  const float saved = x;
-  x = saved + eps;
-  const float fp = f();
-  x = saved - eps;
-  const float fm = f();
-  x = saved;
-  return (fp - fm) / (2.0f * eps);
-}
-
-/// Max absolute difference between two tensors (shapes must match).
-inline float max_abs_diff(const Tensor& a, const Tensor& b) {
-  float m = 0.0f;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const float d = std::fabs(a[i] - b[i]);
-    m = d > m ? d : m;
-  }
-  return m;
-}
-
-/// Relative error tolerant of tiny denominators.
-inline float rel_err(float got, float want, float floor = 1e-4f) {
-  return std::fabs(got - want) / std::max(std::fabs(want), floor);
-}
-
-inline Tensor random_tensor(Shape shape, uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
-  Tensor t(std::move(shape));
-  Rng rng(seed);
-  rng.fill_uniform(t, lo, hi);
-  return t;
+/// GTest-friendly element-wise comparison: on failure the assertion
+/// message names the flat index and both values of the worst mismatch.
+///
+///   EXPECT_TRUE(expect_allclose(got, want));
+///   EXPECT_TRUE(expect_allclose(got, want, 1e-4f, 1e-3f)) << "context";
+inline ::testing::AssertionResult expect_allclose(const Tensor& got, const Tensor& want,
+                                                  float atol = 1e-5f, float rtol = 0.0f) {
+  const AllcloseReport r = allclose_report(got, want, atol, rtol);
+  if (r.ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << r.message;
 }
 
 }  // namespace capr::testing
