@@ -10,6 +10,7 @@
 //   4. compare parameters / FLOPs / accuracy before and after.
 #include <iostream>
 
+#include "analysis/checked.h"
 #include "core/pruner.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
@@ -18,6 +19,12 @@
 
 int main() {
   using namespace capr;
+
+  // Checked mode: the static analyzer (src/analysis) certifies the model
+  // graph and every prune plan BEFORE a mutation or a training epoch is
+  // spent — a bad plan throws analysis::AnalysisError in microseconds
+  // instead of corrupting the run.
+  analysis::enable_checked_mode();
 
   // 1. A 4-class synthetic dataset and a two-conv CNN.
   data::SyntheticCifarConfig dcfg;

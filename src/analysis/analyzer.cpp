@@ -1,0 +1,25 @@
+#include "analysis/analyzer.h"
+
+namespace capr::analysis {
+
+Report analyze_model(nn::Model& model) {
+  ShapeTrace trace = infer_shapes(model);
+  Report report = trace.report;
+  // Unit metadata only means something on a well-formed graph; a broken
+  // graph already fails above and derivation would just re-throw.
+  if (report.ok()) report.merge(verify_units(model));
+  return report;
+}
+
+Report analyze_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+                    const VerifyOptions& opts) {
+  Report report = analyze_model(model);
+  report.merge(verify_plan(model, plan, opts));
+  return report;
+}
+
+void require_ok(const Report& report) {
+  if (!report.ok()) throw AnalysisError(report);
+}
+
+}  // namespace capr::analysis

@@ -1,0 +1,32 @@
+// Facade of the static analysis subsystem.
+//
+//   analyze_model: symbolic shape inference over the whole graph plus
+//     certification of the PrunableUnit metadata against a fresh
+//     dependency derivation. No forward pass is executed.
+//   analyze_plan:  analyze_model plus certification of a concrete
+//     UnitSelection plan (see plan_verifier.h for the check catalogue).
+//
+// Both return a Report of coded diagnostics; callers that want hard
+// failure wrap the report in AnalysisError (checked mode does).
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/shape_inference.h"
+
+namespace capr::analysis {
+
+/// Certifies graph shape legality and unit-metadata consistency.
+Report analyze_model(nn::Model& model);
+
+/// Certifies model and plan together. Strategy/score context in `opts`
+/// enables the cap and threshold checks.
+Report analyze_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+                    const VerifyOptions& opts = {});
+
+/// Throws AnalysisError when `report` has errors; no-op otherwise.
+void require_ok(const Report& report);
+
+}  // namespace capr::analysis

@@ -1,0 +1,67 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace capr::analysis {
+
+std::string to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kShapeMismatch: return "E-SHAPE";
+    case DiagCode::kUnknownLayer: return "E-UNKNOWN-LAYER";
+    case DiagCode::kResidualShape: return "E-RESIDUAL-SHAPE";
+    case DiagCode::kCouplingBroken: return "E-COUPLING";
+    case DiagCode::kResidualCoupled: return "E-RESIDUAL";
+    case DiagCode::kUnitOutOfRange: return "E-UNIT-RANGE";
+    case DiagCode::kIndexOutOfRange: return "E-INDEX-RANGE";
+    case DiagCode::kDuplicateIndex: return "E-DUP-INDEX";
+    case DiagCode::kEmptiedUnit: return "E-EMPTY-UNIT";
+    case DiagCode::kBelowFloor: return "E-FLOOR";
+    case DiagCode::kOverCap: return "E-OVER-CAP";
+    case DiagCode::kLayerOverCap: return "E-LAYER-CAP";
+    case DiagCode::kThresholdViolated: return "E-THRESHOLD";
+  }
+  return "E-UNKNOWN";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << '[' << analysis::to_string(code) << "] ";
+  switch (severity) {
+    case Severity::kError: break;  // errors are the default voice
+    case Severity::kWarning: os << "warning: "; break;
+    case Severity::kNote: os << "note: "; break;
+  }
+  if (!layer.empty()) os << "layer " << layer << ": ";
+  if (unit >= 0) os << "unit " << unit << ": ";
+  os << message;
+  return os.str();
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+bool Report::ok() const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+bool Report::has(DiagCode code) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace capr::analysis

@@ -1,0 +1,92 @@
+// Diagnostic vocabulary of the static analyzer.
+//
+// Every rejection carries a stable machine-readable code (tests and CI
+// match on codes, not message text), a human-readable message that names
+// the offending layer/unit the way a compiler names a source line, and
+// enough location detail to act on. A Report collects diagnostics from
+// one analysis pass; passes append rather than throw so a single run can
+// surface every problem in a model/plan pair at once.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace capr::analysis {
+
+/// Stable diagnostic codes. One code per illegal-model / illegal-plan
+/// class; never reuse or renumber — tooling and tests key on them.
+enum class DiagCode {
+  // Graph-level (shape inference).
+  kShapeMismatch,    // E-SHAPE: an edge's produced shape violates the consumer
+  kUnknownLayer,     // E-UNKNOWN-LAYER: a layer kind the analyzer cannot certify
+  kResidualShape,    // E-RESIDUAL-SHAPE: residual add with unequal branch shapes
+  // Unit/metadata-level.
+  kCouplingBroken,   // E-COUPLING: PrunableUnit metadata inconsistent with graph
+  kResidualCoupled,  // E-RESIDUAL: plan touches a residual-constrained producer
+  // Plan-level.
+  kUnitOutOfRange,   // E-UNIT-RANGE: selection names a unit the model lacks
+  kIndexOutOfRange,  // E-INDEX-RANGE: filter index >= live filter count (or < 0)
+  kDuplicateIndex,   // E-DUP-INDEX: same filter selected twice in one unit
+  kEmptiedUnit,      // E-EMPTY-UNIT: plan would remove every filter of a unit
+  kBelowFloor,       // E-FLOOR: plan leaves a unit under min_filters_per_layer
+  kOverCap,          // E-OVER-CAP: plan exceeds the global per-iteration cap
+  kLayerOverCap,     // E-LAYER-CAP: plan exceeds the per-layer fraction cap
+  kThresholdViolated,  // E-THRESHOLD: selected filter scores >= the threshold
+};
+
+/// Short stable tag, e.g. "E-SHAPE".
+std::string to_string(DiagCode code);
+
+enum class Severity { kError, kWarning, kNote };
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kShapeMismatch;
+  Severity severity = Severity::kError;
+  /// Flattened layer path ("7", "12.conv2") for graph diagnostics; empty
+  /// for plan diagnostics.
+  std::string layer;
+  /// Unit index for plan diagnostics; -1 when not unit-scoped.
+  int64_t unit = -1;
+  std::string message;
+
+  /// "[E-SHAPE] layer 7: ..." / "[E-EMPTY-UNIT] unit 3: ..." form.
+  std::string format() const;
+};
+
+/// Result of one analysis pass.
+class Report {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void merge(const Report& other);
+
+  bool ok() const;  // true iff no kError diagnostics
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// True if any diagnostic carries `code`.
+  bool has(DiagCode code) const;
+
+  /// All diagnostics, one per line; "" when empty.
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Thrown by checked mode when an analysis pass rejects a model or plan.
+/// Derives from std::logic_error per the repo's error conventions: a
+/// rejected plan is a sequencing/logic bug in the caller, not bad I/O.
+class AnalysisError : public std::logic_error {
+ public:
+  explicit AnalysisError(const Report& report)
+      : std::logic_error("static analysis rejected the operation:\n" + report.to_string()),
+        report_(report) {}
+
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace capr::analysis

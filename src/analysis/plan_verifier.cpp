@@ -1,0 +1,259 @@
+#include "analysis/plan_verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "nn/depgraph.h"
+
+namespace capr::analysis {
+namespace {
+
+std::string unit_label(const nn::PrunableUnit& u) {
+  return u.name.empty() ? std::string("<anonymous>") : "'" + u.name + "'";
+}
+
+/// Convs whose output channels are pinned by a residual add: conv2 and
+/// the projection conv of every BasicBlock, plus any conv whose channels
+/// flow into an identity shortcut. Derived from the graph, independent
+/// of the (possibly wrong) hand annotations.
+void collect_residual_constrained(nn::Sequential& seq, nn::Conv2d*& open_producer,
+                                  std::set<const nn::Conv2d*>& constrained) {
+  for (size_t i = 0; i < seq.size(); ++i) {
+    nn::Layer& child = seq.child(i);
+    if (auto* nested = dynamic_cast<nn::Sequential*>(&child)) {
+      collect_residual_constrained(*nested, open_producer, constrained);
+      continue;
+    }
+    if (auto* blk = dynamic_cast<nn::BasicBlock*>(&child)) {
+      if (!blk->has_projection() && open_producer != nullptr) {
+        constrained.insert(open_producer);  // feeds the identity shortcut
+      }
+      constrained.insert(&blk->conv2());
+      if (blk->proj_conv() != nullptr) constrained.insert(blk->proj_conv());
+      // The block's output channel count is pinned by the add; treat
+      // conv2 as the (already constrained) incumbent producer so a
+      // following identity block resolves to it.
+      open_producer = &blk->conv2();
+      continue;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&child)) {
+      open_producer = conv;
+      continue;
+    }
+    if (dynamic_cast<nn::Linear*>(&child) != nullptr) {
+      open_producer = nullptr;  // channel dimension consumed
+    }
+    // Activations, BN, pooling, dropout preserve the channel owner.
+  }
+}
+
+std::set<const nn::Conv2d*> residual_constrained(nn::Model& model) {
+  std::set<const nn::Conv2d*> constrained;
+  nn::Conv2d* open_producer = nullptr;
+  if (model.net != nullptr) {
+    collect_residual_constrained(*model.net, open_producer, constrained);
+  }
+  return constrained;
+}
+
+/// Legal producer set per the dependency analysis; empty optional when
+/// the graph defeats derivation (a diagnostic is added instead).
+std::set<const nn::Conv2d*> derive_legal_producers(nn::Model& model, Report& report) {
+  std::set<const nn::Conv2d*> legal;
+  try {
+    for (const nn::PrunableUnit& u : nn::derive_units(*model.net, model.input_shape)) {
+      legal.insert(u.conv);
+    }
+  } catch (const std::logic_error& e) {
+    Diagnostic d;
+    d.code = DiagCode::kUnknownLayer;
+    d.message = std::string("dependency derivation failed: ") + e.what();
+    report.add(std::move(d));
+  }
+  return legal;
+}
+
+void check_unit_against_graph(const nn::PrunableUnit& u, int64_t index,
+                              const std::set<const nn::Conv2d*>& constrained,
+                              const std::set<const nn::Conv2d*>& legal, Report& report) {
+  const auto add = [&](DiagCode code, const std::string& msg) {
+    Diagnostic d;
+    d.code = code;
+    d.unit = index;
+    d.message = msg;
+    report.add(std::move(d));
+  };
+  if (u.conv == nullptr) {
+    add(DiagCode::kCouplingBroken, "unit " + unit_label(u) + " has no producer conv");
+    return;
+  }
+  if (constrained.count(u.conv) != 0) {
+    add(DiagCode::kResidualCoupled,
+        "producer of unit " + unit_label(u) +
+            " feeds a residual add (shortcut-coupled); pruning it would break the add");
+  } else if (!legal.empty() && legal.count(u.conv) == 0) {
+    add(DiagCode::kCouplingBroken,
+        "producer of unit " + unit_label(u) +
+            " is not a certified prunable producer of this graph");
+  }
+  if (u.bn != nullptr && u.bn->channels() != u.conv->out_channels()) {
+    add(DiagCode::kCouplingBroken,
+        "BatchNorm of unit " + unit_label(u) + " tracks " + std::to_string(u.bn->channels()) +
+            " channels, producer has " + std::to_string(u.conv->out_channels()));
+  }
+  if (u.consumers.empty()) {
+    add(DiagCode::kCouplingBroken,
+        "unit " + unit_label(u) + " has no consumers; removal would strand its channels");
+  }
+  for (const nn::ConsumerRef& c : u.consumers) {
+    if (c.conv != nullptr) {
+      if (c.conv->in_channels() != u.conv->out_channels()) {
+        add(DiagCode::kCouplingBroken,
+            "consumer conv of unit " + unit_label(u) + " expects " +
+                std::to_string(c.conv->in_channels()) + " input channels, producer yields " +
+                std::to_string(u.conv->out_channels()));
+      }
+    } else if (c.linear != nullptr) {
+      if (c.spatial <= 0 ||
+          c.linear->in_features() != u.conv->out_channels() * c.spatial) {
+        add(DiagCode::kCouplingBroken,
+            "consumer linear of unit " + unit_label(u) + " expects " +
+                std::to_string(c.linear->in_features()) + " input features, producer yields " +
+                std::to_string(u.conv->out_channels()) + " channels x spatial " +
+                std::to_string(c.spatial));
+      }
+    } else {
+      add(DiagCode::kCouplingBroken,
+          "unit " + unit_label(u) + " has a consumer with neither conv nor linear set");
+    }
+  }
+}
+
+}  // namespace
+
+Report verify_units(nn::Model& model) {
+  Report report;
+  const std::set<const nn::Conv2d*> constrained = residual_constrained(model);
+  const std::set<const nn::Conv2d*> legal = derive_legal_producers(model, report);
+  for (size_t u = 0; u < model.units.size(); ++u) {
+    check_unit_against_graph(model.units[u], static_cast<int64_t>(u), constrained, legal,
+                             report);
+  }
+  return report;
+}
+
+Report verify_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+                   const VerifyOptions& opts) {
+  Report report;
+  const auto add = [&](DiagCode code, int64_t unit, const std::string& msg) {
+    Diagnostic d;
+    d.code = code;
+    d.unit = unit;
+    d.message = msg;
+    report.add(std::move(d));
+  };
+
+  // Aggregate the plan per unit so duplicated entries and duplicated
+  // indices across entries are caught together.
+  std::map<size_t, std::vector<int64_t>> by_unit;
+  for (const core::UnitSelection& sel : plan) {
+    if (sel.unit_index >= model.units.size()) {
+      add(DiagCode::kUnitOutOfRange, static_cast<int64_t>(sel.unit_index),
+          "selection names unit " + std::to_string(sel.unit_index) + "; model has " +
+              std::to_string(model.units.size()) + " prunable units");
+      continue;
+    }
+    auto& agg = by_unit[sel.unit_index];
+    agg.insert(agg.end(), sel.filters.begin(), sel.filters.end());
+  }
+
+  const std::set<const nn::Conv2d*> constrained = residual_constrained(model);
+
+  int64_t total_filters = 0;
+  for (const nn::PrunableUnit& u : model.units) total_filters += u.conv->out_channels();
+
+  int64_t total_selected = 0;
+  for (const auto& [unit_index, filters] : by_unit) {
+    const nn::PrunableUnit& u = model.units[unit_index];
+    const int64_t live = u.conv->out_channels();
+    const auto uid = static_cast<int64_t>(unit_index);
+
+    if (constrained.count(u.conv) != 0) {
+      add(DiagCode::kResidualCoupled, uid,
+          "plan prunes unit " + unit_label(u) +
+              " whose producer feeds a residual add (shortcut-coupled)");
+    }
+
+    std::set<int64_t> distinct;
+    for (int64_t f : filters) {
+      if (f < 0 || f >= live) {
+        add(DiagCode::kIndexOutOfRange, uid,
+            "filter index " + std::to_string(f) + " out of range (" + std::to_string(live) +
+                " live filters in unit " + unit_label(u) + ")");
+        continue;
+      }
+      if (!distinct.insert(f).second) {
+        add(DiagCode::kDuplicateIndex, uid,
+            "filter index " + std::to_string(f) + " selected more than once in unit " +
+                unit_label(u));
+      }
+    }
+    const auto removed = static_cast<int64_t>(distinct.size());
+    total_selected += removed;
+
+    if (removed >= live) {
+      add(DiagCode::kEmptiedUnit, uid,
+          "plan removes all " + std::to_string(live) + " filters of unit " + unit_label(u));
+    } else if (opts.strategy != nullptr && live - removed < opts.strategy->min_filters_per_layer) {
+      add(DiagCode::kBelowFloor, uid,
+          "plan leaves unit " + unit_label(u) + " with " + std::to_string(live - removed) +
+              " filters; floor is " + std::to_string(opts.strategy->min_filters_per_layer));
+    }
+    if (opts.strategy != nullptr) {
+      const auto layer_cap = static_cast<int64_t>(
+          static_cast<double>(live) * opts.strategy->max_layer_fraction_per_iter);
+      if (removed > layer_cap) {
+        std::ostringstream os;
+        os << "plan removes " << removed << " of " << live << " filters of unit "
+           << unit_label(u) << "; per-layer cap is " << layer_cap << " ("
+           << opts.strategy->max_layer_fraction_per_iter * 100 << "% per iteration)";
+        add(DiagCode::kLayerOverCap, uid, os.str());
+      }
+      if (opts.scores != nullptr && opts.strategy->mode != core::StrategyMode::kPercentage) {
+        const float threshold =
+            core::effective_threshold(*opts.strategy, opts.scores->num_classes);
+        for (const core::UnitScores& us : opts.scores->units) {
+          if (us.unit_index != unit_index) continue;
+          for (int64_t f : distinct) {
+            if (f < static_cast<int64_t>(us.total.size()) &&
+                us.total[static_cast<size_t>(f)] >= threshold) {
+              std::ostringstream os;
+              os << "filter " << f << " of unit " << unit_label(u) << " has score "
+                 << us.total[static_cast<size_t>(f)] << " >= threshold " << threshold
+                 << "; threshold semantics forbid removing it";
+              add(DiagCode::kThresholdViolated, uid, os.str());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (opts.strategy != nullptr && opts.strategy->mode != core::StrategyMode::kThreshold) {
+    const auto cap = static_cast<int64_t>(static_cast<double>(total_filters) *
+                                          opts.strategy->max_fraction_per_iter);
+    if (total_selected > cap) {
+      std::ostringstream os;
+      os << "plan removes " << total_selected << " of " << total_filters
+         << " filters network-wide; per-iteration cap is " << cap << " ("
+         << opts.strategy->max_fraction_per_iter * 100 << "%)";
+      add(DiagCode::kOverCap, -1, os.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace capr::analysis

@@ -1,0 +1,58 @@
+// Static certification of prune plans.
+//
+// Given a model and a set of UnitSelections (the exact input
+// core::apply_selection consumes), proves BEFORE any mutation that the
+// surgeon's coordinated edits stay legal:
+//
+//   - every selection names an existing unit and live filter indices,
+//     with no duplicates (E-UNIT-RANGE / E-INDEX-RANGE / E-DUP-INDEX);
+//   - no unit is emptied, and with a strategy config, no unit drops
+//     below the per-layer floor (E-EMPTY-UNIT / E-FLOOR);
+//   - residual-constrained producers — conv2/projection of a BasicBlock
+//     and any conv feeding an identity shortcut — are untouched
+//     (E-RESIDUAL), re-derived from the graph itself, never trusted from
+//     the hand annotations;
+//   - unit metadata is consistent with the graph, so the coordinated
+//     edit (conv row + BN channel + consumer column) provably preserves
+//     forward shape legality (E-COUPLING);
+//   - with a strategy config, the per-iteration global 10% cap and
+//     per-layer fraction cap hold (E-OVER-CAP / E-LAYER-CAP), and with
+//     importance scores, every selected filter is actually below the
+//     score threshold (E-THRESHOLD).
+//
+// The shape-legality argument: the surgeon's edit is closed over the
+// couplings recorded in the unit (tests/surgery_property_test.cpp
+// enforces the runtime half). If the current graph is shape-legal
+// (shape_inference), each touched unit's couplings are consistent, and
+// no layer is emptied, then removing k filters shrinks producer and
+// consumers by the same k channels and the forward stays legal.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/importance.h"
+#include "core/strategy.h"
+#include "nn/model.h"
+
+namespace capr::analysis {
+
+struct VerifyOptions {
+  /// Enables cap/floor checks against the strategy's semantics. Not
+  /// owned; may be null (structural checks only).
+  const core::PruneStrategyConfig* strategy = nullptr;
+  /// Enables the score-threshold check (requires `strategy`). Not owned.
+  const core::ImportanceResult* scores = nullptr;
+};
+
+/// Certifies the model's PrunableUnit metadata against the graph:
+/// coupling consistency and residual legality of every unit. The model
+/// is not mutated (non-const only because units hold layer pointers).
+Report verify_units(nn::Model& model);
+
+/// Certifies one plan. Structural checks always run; strategy/score
+/// checks run when the options provide the context.
+Report verify_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+                   const VerifyOptions& opts = {});
+
+}  // namespace capr::analysis

@@ -1,0 +1,48 @@
+// Symbolic shape inference over a Sequential layer graph.
+//
+// Walks the graph WITHOUT executing a forward pass, propagating the
+// activation shape (excluding batch) edge by edge, and reports the first
+// ill-formed edge with a source-like diagnostic:
+//
+//   [E-SHAPE] layer 7 (conv2d 'features.7'): expects C_in=64, producer yields 32
+//
+// Layers are addressed by their flattened position in the graph; nested
+// structure is spelled with dotted suffixes ("12.conv2" is the second
+// conv of the basic block at position 12). The trace of every legal edge
+// is returned alongside the verdict so tools (capr-analyze) can print the
+// full propagation table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "nn/model.h"
+
+namespace capr::analysis {
+
+/// One certified edge of the walk.
+struct ShapeStep {
+  std::string layer;  // flattened position, e.g. "7" or "12.conv2"
+  std::string kind;   // layer.kind()
+  std::string name;   // builder-assigned name ("" if anonymous)
+  Shape in;
+  Shape out;
+};
+
+struct ShapeTrace {
+  std::vector<ShapeStep> steps;
+  Report report;
+  /// Final output shape; meaningful only when report.ok().
+  Shape output;
+};
+
+/// Infers shapes through `net` for an input of shape `input` ([C, H, W]
+/// or any rank — consumers validate rank themselves). Stops at the first
+/// ill-formed edge; the trace holds every edge proven legal before it.
+ShapeTrace infer_shapes(nn::Sequential& net, const Shape& input);
+
+/// Convenience: full-model certification (net + declared input shape).
+ShapeTrace infer_shapes(nn::Model& model);
+
+}  // namespace capr::analysis

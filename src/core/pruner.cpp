@@ -4,6 +4,21 @@
 
 namespace capr::core {
 
+std::vector<UnitSelection> ClassAwarePruner::plan(const ImportanceResult& scores) const {
+  return select_filters(scores, cfg_.strategy);
+}
+
+int64_t ClassAwarePruner::step(nn::Model& model, const std::vector<UnitSelection>& selection,
+                               PruneHistory* history) {
+  // In checked mode, certify with full strategy context (caps, floor)
+  // before the first mutation; apply_selection re-runs the structural
+  // half, which is cheap relative to the surgery itself.
+  if (plan_validator()) plan_validator()(model, selection, &cfg_.strategy);
+  const int64_t removed = apply_selection(model, selection);
+  if (history != nullptr) history->apply(selection);
+  return removed;
+}
+
 PruneRunResult ClassAwarePruner::run(nn::Model& model, const data::Dataset& train_set,
                                      const data::Dataset& test_set) {
   PruneRunResult result;
@@ -24,7 +39,7 @@ PruneRunResult ClassAwarePruner::run(nn::Model& model, const data::Dataset& trai
   for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
     const ImportanceResult scores =
         iter == 0 ? result.scores_before : evaluator.evaluate(model, train_set);
-    const std::vector<UnitSelection> selection = select_filters(scores, cfg_.strategy);
+    const std::vector<UnitSelection> selection = plan(scores);
     if (selection.empty()) {
       result.stop_reason = "no prunable filters remain";
       break;
@@ -38,8 +53,7 @@ PruneRunResult ClassAwarePruner::run(nn::Model& model, const data::Dataset& trai
       kept_snapshot = tracker.snapshot();
     }
 
-    const int64_t removed = apply_selection(model, selection);
-    tracker.apply(selection);
+    const int64_t removed = step(model, selection, &tracker);
 
     nn::TrainConfig ft = cfg_.finetune;
     ft.loader_seed = cfg_.finetune.loader_seed + static_cast<uint64_t>(iter) + 1;

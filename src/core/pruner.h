@@ -79,6 +79,17 @@ class ClassAwarePruner {
   PruneRunResult run(nn::Model& model, const data::Dataset& train_set,
                      const data::Dataset& test_set);
 
+  /// The selection one iteration would remove, per the configured
+  /// strategy. Pure: no model access, no mutation.
+  std::vector<UnitSelection> plan(const ImportanceResult& scores) const;
+
+  /// Executes one pruning mutation: certifies `selection` against the
+  /// analyzer when checked mode is on (see core::set_plan_validator —
+  /// rejection throws BEFORE any mutation), applies the surgery, and
+  /// records it in `history` when given. Returns filters removed.
+  int64_t step(nn::Model& model, const std::vector<UnitSelection>& selection,
+               PruneHistory* history = nullptr);
+
   const ClassAwarePrunerConfig& config() const { return cfg_; }
 
  private:

@@ -3,6 +3,18 @@
 #include <stdexcept>
 
 namespace capr::core {
+namespace {
+
+PlanValidator& validator_slot() {
+  static PlanValidator validator;
+  return validator;
+}
+
+}  // namespace
+
+void set_plan_validator(PlanValidator validator) { validator_slot() = std::move(validator); }
+
+const PlanValidator& plan_validator() { return validator_slot(); }
 
 void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64_t>& filters) {
   if (unit_index >= model.units.size()) {
@@ -31,6 +43,7 @@ void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64
 }
 
 int64_t apply_selection(nn::Model& model, const std::vector<UnitSelection>& selection) {
+  if (plan_validator()) plan_validator()(model, selection, nullptr);
   int64_t removed = 0;
   for (const UnitSelection& sel : selection) {
     remove_filters(model, sel.unit_index, sel.filters);
@@ -57,15 +70,31 @@ PruneHistory::PruneHistory(const nn::Model& model) {
 
 void PruneHistory::apply(const std::vector<UnitSelection>& selection) {
   for (const UnitSelection& sel : selection) {
-    std::vector<int64_t>& kept = kept_.at(sel.unit_index);
-    // sel.filters is sorted ascending; erase from the back so earlier
-    // positions stay valid during removal.
-    for (auto it = sel.filters.rbegin(); it != sel.filters.rend(); ++it) {
-      if (*it < 0 || *it >= static_cast<int64_t>(kept.size())) {
-        throw std::out_of_range("PruneHistory: filter index " + std::to_string(*it) +
-                                " out of range for unit with " +
-                                std::to_string(kept.size()) + " live filters");
+    if (sel.unit_index >= kept_.size()) {
+      throw std::out_of_range("PruneHistory: unit index " + std::to_string(sel.unit_index) +
+                              " out of range (history tracks " + std::to_string(kept_.size()) +
+                              " units)");
+    }
+    std::vector<int64_t>& kept = kept_[sel.unit_index];
+    // sel.filters must be sorted ascending and duplicate-free — an
+    // unsorted or repeated index would silently erase the wrong
+    // originals; erase from the back so earlier positions stay valid.
+    for (size_t i = 1; i < sel.filters.size(); ++i) {
+      if (sel.filters[i] <= sel.filters[i - 1]) {
+        throw std::invalid_argument(
+            "PruneHistory: unit " + std::to_string(sel.unit_index) +
+            ": filter indices must be strictly ascending, got " +
+            std::to_string(sel.filters[i - 1]) + " before " + std::to_string(sel.filters[i]));
       }
+    }
+    for (int64_t f : sel.filters) {
+      if (f < 0 || f >= static_cast<int64_t>(kept.size())) {
+        throw std::out_of_range("PruneHistory: unit " + std::to_string(sel.unit_index) +
+                                ": filter index " + std::to_string(f) + " out of range (" +
+                                std::to_string(kept.size()) + " live filters)");
+      }
+    }
+    for (auto it = sel.filters.rbegin(); it != sel.filters.rend(); ++it) {
       kept.erase(kept.begin() + static_cast<int64_t>(*it));
     }
   }

@@ -10,6 +10,7 @@
 // invariants (a forward pass stays shape-legal after every operation).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/strategy.h"
@@ -17,11 +18,31 @@
 
 namespace capr::core {
 
+/// Checked-mode hook: certifies a plan BEFORE any mutation, throwing to
+/// reject it. Installed by analysis::enable_checked_mode() (the static
+/// analyzer lives above core in the layering, so core only knows the
+/// hook). The strategy pointer is non-null when the caller knows the
+/// strategy semantics the plan must additionally respect (per-iteration
+/// caps, floor); apply_selection itself passes null (structural checks
+/// only).
+using PlanValidator = std::function<void(
+    nn::Model&, const std::vector<UnitSelection>&, const PruneStrategyConfig*)>;
+
+/// Installs (or, with an empty function, clears) the global validator.
+void set_plan_validator(PlanValidator validator);
+
+/// The installed validator; empty when checked mode is off.
+const PlanValidator& plan_validator();
+
 /// Removes the selected filters from one unit. Throws on invalid indices
-/// or if the removal would empty the layer.
+/// or if the removal would empty the layer. This is the raw primitive —
+/// it does NOT consult the plan validator (checkpoint replay and
+/// rollback re-apply already-certified history through it).
 void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64_t>& filters);
 
-/// Applies a whole selection (all units). Returns number of filters removed.
+/// Applies a whole selection (all units). Returns number of filters
+/// removed. In checked mode the whole plan is certified before the
+/// first mutation, so a rejected plan leaves the model untouched.
 int64_t apply_selection(nn::Model& model, const std::vector<UnitSelection>& selection);
 
 /// Total number of filters across all prunable units.

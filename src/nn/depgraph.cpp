@@ -17,7 +17,18 @@ struct WalkState {
   Shape shape;                     // current activation shape (no batch)
   int64_t spatial_per_channel = 1;  // features per channel if flattened
   bool collapsed = false;          // a Flatten/GAP has run since the conv
+  int64_t next_index = 0;          // flattened position of the next layer
+  int64_t index = 0;               // flattened position of the current layer
   std::vector<PrunableUnit> units;
+
+  /// "layer 7 (linear 'fc')" — locates errors the way a compiler names a
+  /// source line; indices count flattened non-composite positions.
+  std::string where(const Layer& layer) const {
+    std::string out = "layer " + std::to_string(index) + " (" + layer.kind();
+    if (!layer.name().empty()) out += " '" + layer.name() + "'";
+    out += ")";
+    return out;
+  }
 
   void finalize_with_consumer(ConsumerRef consumer) {
     if (pending.conv == nullptr) return;
@@ -38,11 +49,16 @@ struct WalkState {
 void walk(Sequential& seq, WalkState& st);
 
 void walk_layer(Layer& layer, WalkState& st) {
-  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
-    walk(*seq, st);
-    return;
-  }
   if (auto* blk = dynamic_cast<BasicBlock*>(&layer)) {
+    // A residual block whose input channel count disagrees with conv1
+    // would leave the shortcut add dangling; refuse rather than derive
+    // bogus couplings.
+    if (st.shape.size() != 3 || st.shape[0] != blk->conv1().in_channels()) {
+      throw std::logic_error("derive_units: " + st.where(layer) +
+                             ": residual block expects " +
+                             std::to_string(blk->conv1().in_channels()) +
+                             " input channels, producer yields " + to_string(st.shape));
+    }
     // Incumbent producer feeds conv1 and (via the shortcut) the residual
     // add. With an identity shortcut its channel count is pinned by the
     // add -> constrained. With a projection shortcut its channels only
@@ -75,6 +91,11 @@ void walk_layer(Layer& layer, WalkState& st) {
     return;
   }
   if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+    if (st.shape.size() != 3 || st.shape[0] != conv->in_channels()) {
+      throw std::logic_error("derive_units: " + st.where(layer) + ": expects C_in=" +
+                             std::to_string(conv->in_channels()) + ", producer yields " +
+                             to_string(st.shape));
+    }
     st.finalize_with_consumer(ConsumerRef{conv, nullptr, 1});
     st.pending = PrunableUnit{};
     st.pending.name = conv->name();
@@ -119,12 +140,20 @@ void walk_layer(Layer& layer, WalkState& st) {
     return;
   }
   if (auto* lin = dynamic_cast<Linear*>(&layer)) {
+    if (!st.collapsed && st.shape.size() == 3) {
+      // Linear applied to unflattened input would be a shape error at
+      // runtime; the analysis refuses rather than guessing — whether or
+      // not a prunable producer is open.
+      throw std::logic_error("derive_units: " + st.where(layer) +
+                             ": applied to spatial output " + to_string(st.shape) +
+                             " without Flatten");
+    }
+    if (st.shape.size() == 1 && st.shape[0] != lin->in_features()) {
+      throw std::logic_error("derive_units: " + st.where(layer) + ": expects in_features=" +
+                             std::to_string(lin->in_features()) + ", producer yields " +
+                             to_string(st.shape));
+    }
     if (st.pending.conv != nullptr) {
-      if (!st.collapsed && st.shape.size() == 3) {
-        // Linear applied to unflattened input would be a shape error at
-        // runtime; the analysis refuses rather than guessing.
-        throw std::logic_error("derive_units: Linear after spatial output without Flatten");
-      }
       st.finalize_with_consumer(ConsumerRef{nullptr, lin, st.spatial_per_channel});
     }
     st.shape = {lin->out_features()};
@@ -132,11 +161,20 @@ void walk_layer(Layer& layer, WalkState& st) {
     st.spatial_per_channel = 1;
     return;
   }
-  throw std::logic_error("derive_units: unsupported layer kind '" + layer.kind() + "'");
+  throw std::logic_error("derive_units: " + st.where(layer) + ": unsupported layer kind '" +
+                         layer.kind() + "'");
 }
 
 void walk(Sequential& seq, WalkState& st) {
-  for (size_t i = 0; i < seq.size(); ++i) walk_layer(seq.child(i), st);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    Layer& child = seq.child(i);
+    if (auto* nested = dynamic_cast<Sequential*>(&child)) {
+      walk(*nested, st);  // containers are transparent to numbering
+      continue;
+    }
+    st.index = st.next_index++;
+    walk_layer(child, st);
+  }
 }
 
 }  // namespace

@@ -3,9 +3,22 @@
 #include "nn/schedulers.h"
 
 namespace capr::nn {
+namespace {
+
+ModelValidator& validator_slot() {
+  static ModelValidator validator;
+  return validator;
+}
+
+}  // namespace
+
+void set_model_validator(ModelValidator validator) { validator_slot() = std::move(validator); }
+
+const ModelValidator& model_validator() { return validator_slot(); }
 
 TrainStats train(Model& model, const data::Dataset& train_set, const TrainConfig& cfg,
                  Regularizer* reg) {
+  if (model_validator()) model_validator()(model);
   SGD sgd(cfg.sgd);
   data::DataLoader::Options lopts;
   lopts.batch_size = cfg.batch_size;
@@ -46,6 +59,7 @@ TrainStats train(Model& model, const data::Dataset& train_set, const TrainConfig
 }
 
 float evaluate(Model& model, const data::Dataset& set, int64_t batch_size) {
+  if (model_validator()) model_validator()(model);
   int64_t correct = 0;
   for (int64_t first = 0; first < set.size(); first += batch_size) {
     const int64_t count = std::min(batch_size, set.size() - first);

@@ -50,6 +50,18 @@ struct TrainStats {
   int epochs_run = 0;
 };
 
+/// Checked-mode hook: certifies the model graph at the top of train()
+/// (and evaluate()), throwing to reject an ill-formed model before any
+/// epoch is spent. Installed by analysis::enable_checked_mode(); nn only
+/// knows the hook so the layering stays acyclic.
+using ModelValidator = std::function<void(Model&)>;
+
+/// Installs (or, with an empty function, clears) the global validator.
+void set_model_validator(ModelValidator validator);
+
+/// The installed validator; empty when checked mode is off.
+const ModelValidator& model_validator();
+
 /// Trains `model` in place with SGD and an optional regularizer.
 TrainStats train(Model& model, const data::Dataset& train_set, const TrainConfig& cfg,
                  Regularizer* reg = nullptr);

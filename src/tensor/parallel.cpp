@@ -34,7 +34,12 @@ void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int6
     for (int64_t i = begin; i < end; ++i) fn(0, i);
     return;
   }
-  // Contiguous chunks; the first propagated exception wins.
+  // Contiguous chunks. A worker exception must never escape on a
+  // std::thread (that calls std::terminate): each chunk captures its
+  // exception, the first one wins, and it is rethrown on the caller's
+  // thread after the join. Once a sweep has failed, the other workers
+  // abort cooperatively between indices instead of finishing their
+  // chunks against state the caller will unwind.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers) - 1);
   std::exception_ptr error;
@@ -44,7 +49,10 @@ void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int6
     const int64_t lo = begin + tid * chunk;
     const int64_t hi = std::min(end, lo + chunk);
     try {
-      for (int64_t i = lo; i < hi; ++i) fn(tid, i);
+      for (int64_t i = lo; i < hi; ++i) {
+        if (has_error.load(std::memory_order_relaxed)) return;
+        fn(tid, i);
+      }
     } catch (...) {
       if (!has_error.exchange(true)) error = std::current_exception();
     }

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "models/builders.h"
 #include "nn/dropout.h"
 #include "nn/pooling.h"
@@ -102,6 +105,101 @@ TEST(DeriveTest, LinearWithoutFlattenRefused) {
   m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
   m.net->add(std::make_unique<Linear>(32, 2));
   EXPECT_THROW(derive_units(*m.net, m.input_shape), std::logic_error);
+}
+
+/// A layer kind the dependency analysis has never heard of.
+class UnsupportedLayer final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool) override { return x; }
+  Tensor backward(const Tensor& g) override { return g; }
+  std::string kind() const override { return "mystery"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+};
+
+std::string derive_error(Model& m) {
+  try {
+    derive_units(*m.net, m.input_shape);
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::logic_error";
+  return {};
+}
+
+TEST(DeriveErrorTest, UnknownLayerKindNamesFlattenedIndex) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  m.net->add(std::make_unique<UnsupportedLayer>());
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unsupported layer kind 'mystery'"), std::string::npos) << msg;
+}
+
+TEST(DeriveErrorTest, NestedContainersAreTransparentToNumbering) {
+  // The offending layer sits behind a nested Sequential; the diagnostic
+  // must still count flattened non-composite positions.
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  auto stage = std::make_unique<Sequential>();
+  stage->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  stage->add(std::make_unique<ReLU>());
+  m.net->add(std::move(stage));
+  m.net->add(std::make_unique<UnsupportedLayer>());
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 2"), std::string::npos) << msg;
+}
+
+TEST(DeriveErrorTest, LinearBeforeAnyProducerNamesLayerZero) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Linear>(32, 2));
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("without Flatten"), std::string::npos) << msg;
+}
+
+TEST(DeriveErrorTest, ConvChannelMismatchReportsBothSides) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  m.net->add(std::make_unique<Conv2d>(3, 2, 3, 1, 1, false))->set_name("bad");
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'bad'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expects C_in=3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("producer yields"), std::string::npos) << msg;
+}
+
+TEST(DeriveErrorTest, DanglingResidualBlockIsRefused) {
+  // The block's shortcut add would be fed the wrong channel count.
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<BasicBlock>(8, 8, 1));
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("residual block expects 8 input channels"), std::string::npos) << msg;
+}
+
+TEST(DeriveErrorTest, LinearInFeaturesMismatchAfterCollapse) {
+  Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<Sequential>();
+  m.net->add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<ReLU>());
+  m.net->add(std::make_unique<GlobalAvgPool>());
+  m.net->add(std::make_unique<Linear>(5, 2));
+  const std::string msg = derive_error(m);
+  EXPECT_NE(msg.find("layer 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expects in_features=5"), std::string::npos) << msg;
 }
 
 TEST(DeriveTest, DerivedUnitsSurviveSurgeryRoundTrip) {

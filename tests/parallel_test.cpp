@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/conv2d.h"
@@ -55,6 +57,77 @@ TEST(ParallelForTest, PropagatesExceptions) {
                               if (i == 7) throw std::runtime_error("boom");
                             }),
                std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkerThreadExceptionDoesNotTerminate) {
+  // Regression: an exception thrown on a non-main chunk must be captured
+  // and rethrown on the caller's thread, never escape on the std::thread
+  // (which would call std::terminate). Chunk assignment is deterministic:
+  // with 4 workers over [0, 8), index 3 lands on worker thread 1.
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 8,
+                            [](int, int64_t i) {
+                              if (i == 3) throw std::runtime_error("worker chunk");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, MainThreadChunkExceptionPropagates) {
+  // Index 0 is always in the caller-executed chunk (tid 0).
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 8,
+                            [](int, int64_t i) {
+                              if (i == 0) throw std::invalid_argument("main chunk");
+                            }),
+               std::invalid_argument);
+}
+
+TEST(ParallelForTest, FirstExceptionWinsWhenAllThrow) {
+  // Every index throws; exactly one exception must reach the caller and
+  // it must be one of the thrown ones (not terminate, not a mixture).
+  ThreadGuard guard;
+  set_num_threads(4);
+  try {
+    parallel_for(0, 16, [](int, int64_t i) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u) << e.what();
+  }
+}
+
+TEST(ParallelForTest, SerialPathPropagatesExceptions) {
+  ThreadGuard guard;
+  set_num_threads(1);
+  EXPECT_THROW(parallel_for(0, 4,
+                            [](int, int64_t i) {
+                              if (i == 2) throw std::runtime_error("serial");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, FailedSweepAbortsEarlyAndPoolStaysUsable) {
+  // After a throwing sweep the pool must be fully joined and reusable:
+  // a second sweep runs to completion and covers the range exactly once.
+  // Also sanity-check the cooperative abort: indices visited in the
+  // failing sweep never exceed the full range (no double execution).
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int64_t> visited{0};
+  EXPECT_THROW(parallel_for(0, 1000,
+                            [&](int, int64_t i) {
+                              if (i == 0) throw std::runtime_error("abort");
+                              ++visited;
+                            }),
+               std::runtime_error);
+  EXPECT_LE(visited.load(), 999);
+
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 64, [&](int, int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelForTest, NumThreadsDefaultsPositive) {

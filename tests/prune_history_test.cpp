@@ -4,6 +4,9 @@
 // translated back to original indices exactly.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/surgeon.h"
 #include "models/builders.h"
 #include "test_util.h"
@@ -92,6 +95,65 @@ TEST(PruneHistoryTest, RejectsOutOfRangeCurrentIndex) {
   const int64_t f = m.units[0].conv->out_channels();
   EXPECT_THROW(h.apply({{0, {f}}}), std::out_of_range);
   EXPECT_THROW(h.apply({{0, {-1}}}), std::out_of_range);
+}
+
+TEST(PruneHistoryTest, FilterRangeErrorNamesUnitAndLiveCount) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  try {
+    h.apply({{1, {99}}});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unit 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("filter index 99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("64 live filters"), std::string::npos) << msg;
+  }
+}
+
+TEST(PruneHistoryTest, LiveCountInDiagnosticTracksEarlierRounds) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  h.apply({{0, {0, 1}}});  // 32 -> 30 live
+  try {
+    h.apply({{0, {30}}});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("30 live filters"), std::string::npos) << e.what();
+  }
+}
+
+TEST(PruneHistoryTest, RejectsUnknownUnitIndexWithCount) {
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  try {
+    h.apply({{5, {0}}});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unit index 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 units"), std::string::npos) << msg;
+  }
+}
+
+TEST(PruneHistoryTest, RejectsUnsortedOrDuplicateFilters) {
+  // Erasing back-to-front silently removes the wrong originals unless
+  // the list is strictly ascending; both orders must be hard errors
+  // BEFORE any state change.
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  EXPECT_THROW(h.apply({{0, {3, 1}}}), std::invalid_argument);
+  EXPECT_THROW(h.apply({{0, {2, 2}}}), std::invalid_argument);
+  EXPECT_TRUE(h.removed_original()[0].empty());
+}
+
+TEST(PruneHistoryTest, RangeFailureIsTransactionalPerUnit) {
+  // A selection with one bad index must not partially erase the unit:
+  // all indices are validated before the first erase.
+  nn::Model m = two_unit_model();
+  PruneHistory h(m);
+  EXPECT_THROW(h.apply({{0, {0, 1, 99}}}), std::out_of_range);
+  EXPECT_TRUE(h.removed_original()[0].empty());
 }
 
 }  // namespace

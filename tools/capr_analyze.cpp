@@ -1,0 +1,211 @@
+// capr-analyze: static certification of a model + prune plan from the
+// command line, without running a forward pass.
+//
+//   capr-analyze --arch vgg16                       # certify the graph
+//   capr-analyze --arch resnet20 --plan plan.txt    # certify a plan
+//   capr-analyze --arch vgg16 --checkpoint m.ckpt --plan plan.txt --strict
+//
+// A plan file holds one unit per line: the unit index followed by the
+// filter indices to remove ('#' starts a comment):
+//
+//   # unit  filters...
+//   0  1 3 5
+//   2  0 7
+//
+// With --checkpoint, the checkpoint's (possibly pruned) shapes are
+// replayed onto the freshly built architecture before loading, so plans
+// are certified against the live filter counts of the saved model.
+// Exit status: 0 when the report is clean, 1 on any error diagnostic,
+// 2 on usage/I/O problems.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/surgeon.h"
+#include "models/builders.h"
+#include "tensor/serialize.h"
+
+namespace {
+
+struct Options {
+  std::string arch;
+  std::string checkpoint;
+  std::string plan_file;
+  capr::models::BuildConfig build{};
+  capr::core::PruneStrategyConfig strategy{};
+  bool with_strategy = false;  // enable cap/floor checks
+  bool trace = false;          // print the shape propagation table
+};
+
+void usage(std::ostream& os) {
+  os << "usage: capr-analyze --arch <name> [options]\n"
+        "  --arch <name>         architecture (";
+  for (const std::string& a : capr::models::available_archs()) os << a << ' ';
+  os << ")\n"
+        "  --classes <n>         number of classes (default 10)\n"
+        "  --input-size <n>      input H=W (default 16)\n"
+        "  --width-mult <f>      channel width multiplier (default 0.25)\n"
+        "  --checkpoint <file>   replay + load a saved (pruned) checkpoint\n"
+        "  --plan <file>         certify a prune plan (one 'unit f f f' per line)\n"
+        "  --strict              also enforce strategy semantics (caps, floor)\n"
+        "  --max-fraction <f>    global per-iteration cap (default 0.10, with --strict)\n"
+        "  --layer-fraction <f>  per-layer per-iteration cap (default 0.5, with --strict)\n"
+        "  --min-filters <n>     per-layer floor (default 2, with --strict)\n"
+        "  --trace               print the certified shape propagation table\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      opts.arch = value();
+    } else if (arg == "--classes") {
+      opts.build.num_classes = std::stoll(value());
+    } else if (arg == "--input-size") {
+      opts.build.input_size = std::stoll(value());
+    } else if (arg == "--width-mult") {
+      opts.build.width_mult = std::stof(value());
+    } else if (arg == "--checkpoint") {
+      opts.checkpoint = value();
+    } else if (arg == "--plan") {
+      opts.plan_file = value();
+    } else if (arg == "--strict") {
+      opts.with_strategy = true;
+    } else if (arg == "--max-fraction") {
+      opts.strategy.max_fraction_per_iter = std::stof(value());
+      opts.with_strategy = true;
+    } else if (arg == "--layer-fraction") {
+      opts.strategy.max_layer_fraction_per_iter = std::stof(value());
+      opts.with_strategy = true;
+    } else if (arg == "--min-filters") {
+      opts.strategy.min_filters_per_layer = std::stoll(value());
+      opts.with_strategy = true;
+    } else if (arg == "--trace") {
+      opts.trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return false;
+    } else {
+      throw std::runtime_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (opts.arch.empty()) throw std::runtime_error("--arch is required");
+  return true;
+}
+
+std::vector<capr::core::UnitSelection> read_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open plan file '" + path + "'");
+  std::vector<capr::core::UnitSelection> plan;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    capr::core::UnitSelection sel;
+    long long unit = 0;
+    if (!(fields >> unit)) continue;  // blank/comment line
+    if (unit < 0) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": negative unit index");
+    }
+    sel.unit_index = static_cast<size_t>(unit);
+    long long f = 0;
+    while (fields >> f) sel.filters.push_back(f);
+    if (!fields.eof()) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed filter list");
+    }
+    plan.push_back(std::move(sel));
+  }
+  return plan;
+}
+
+/// Shrinks `model` until each unit's filter count matches the conv
+/// weights in `dict`, then loads it — the replay idiom used for pruned
+/// checkpoints (see examples/resnet_pruning.cpp).
+void load_pruned_checkpoint(capr::nn::Model& model,
+                            const std::map<std::string, capr::Tensor>& dict) {
+  for (size_t u = 0; u < model.units.size(); ++u) {
+    const capr::nn::Conv2d* conv = model.units[u].conv;
+    const auto it = dict.find(conv->name() + ".weight");
+    if (it == dict.end()) {
+      throw std::runtime_error("checkpoint lacks weights for prunable conv '" +
+                               conv->name() + "'");
+    }
+    const int64_t want = it->second.dim(0);
+    const int64_t have = conv->out_channels();
+    if (want > have) {
+      throw std::runtime_error("checkpoint has " + std::to_string(want) + " filters for '" +
+                               conv->name() + "', architecture has only " +
+                               std::to_string(have));
+    }
+    if (want < have) {
+      std::vector<int64_t> drop;
+      for (int64_t f = want; f < have; ++f) drop.push_back(f);
+      capr::core::remove_filters(model, u, drop);
+    }
+  }
+  model.load_state_dict(dict);
+}
+
+void print_trace(const capr::analysis::ShapeTrace& trace) {
+  std::cout << "shape propagation (" << trace.steps.size() << " certified edges):\n";
+  for (const capr::analysis::ShapeStep& s : trace.steps) {
+    std::cout << "  layer " << s.layer << "  " << s.kind;
+    if (!s.name.empty()) std::cout << " '" << s.name << "'";
+    std::cout << "  " << capr::to_string(s.in) << " -> " << capr::to_string(s.out) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    if (!parse_args(argc, argv, opts)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-analyze: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    capr::nn::Model model = capr::models::make_model(opts.arch, opts.build);
+    if (!opts.checkpoint.empty()) {
+      load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
+    }
+
+    if (opts.trace) print_trace(capr::analysis::infer_shapes(model));
+
+    capr::analysis::Report report;
+    if (opts.plan_file.empty()) {
+      report = capr::analysis::analyze_model(model);
+    } else {
+      capr::analysis::VerifyOptions vopts;
+      if (opts.with_strategy) vopts.strategy = &opts.strategy;
+      report = capr::analysis::analyze_plan(model, read_plan(opts.plan_file), vopts);
+    }
+
+    std::cout << model.arch << ": " << model.units.size() << " prunable units\n";
+    if (report.diagnostics().empty()) {
+      std::cout << "OK: no diagnostics\n";
+    } else {
+      std::cout << report.to_string();
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-analyze: " << e.what() << "\n";
+    return 2;
+  }
+}
