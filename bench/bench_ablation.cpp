@@ -40,15 +40,18 @@ double correlation(const std::vector<float>& a, const std::vector<float>& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Ablations", "M sweep (Sec. IV), tau sensitivity, max-vs-mean");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
   report::Workbench wb = report::prepare_workbench("vgg16", 10, scale);
   std::cout << "VGG16-C10 test accuracy: " << report::pct(wb.pretrained_accuracy) << "\n\n";
 
   // (A) M sweep: correlate total scores against the largest M.
   {
-    const std::vector<int64_t> ms{1, 2, 4, 6, 10, 16};
+    const std::vector<int64_t> ms =
+        args.smoke ? std::vector<int64_t>{1, 2} : std::vector<int64_t>{1, 2, 4, 6, 10, 16};
     std::vector<std::vector<float>> scores;
     for (int64_t m : ms) {
       core::ImportanceConfig icfg;

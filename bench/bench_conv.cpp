@@ -1,0 +1,112 @@
+// Conv2d forward/backward throughput under both GEMM kernels: the
+// end-to-end effect of the tiled path plus the per-layer scratch arena
+// (im2col buffers reused across calls). Emits BENCH_conv.json.
+//
+//   bench_conv                 full sweep, writes BENCH_conv.json
+//   bench_conv --smoke         smallest layer only, tiny min-time (CI)
+//   bench_conv --out FILE      alternate output path
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel_bench.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm_tiled.h"
+#include "tensor/im2col.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace capr;
+using benchx::BenchSpec;
+
+struct ConvCase {
+  int64_t batch, channels, size;  // square Cin=Cout 3x3 stride-1 pad-1 layer
+};
+
+// VGG-style 3x3 body layers at the scales the experiments actually run.
+const ConvCase kCases[] = {
+    {4, 16, 16},
+    {4, 32, 16},
+    {8, 64, 8},
+};
+
+void run_conv(benchmark::State& state, const BenchSpec spec, const ConvCase cs,
+              const bool backward) {
+  set_num_threads(spec.threads);
+  const GemmKernelScope scope(spec.kernel == "tiled" ? GemmKernel::kTiled
+                                                     : GemmKernel::kReference);
+  nn::Conv2d conv(cs.channels, cs.channels, 3, 1, 1, /*bias=*/false);
+  Rng rng(99);
+  rng.fill_normal(conv.weight().value, 0.0f, 0.1f);
+  Tensor x({cs.batch, cs.channels, cs.size, cs.size});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor g(x.shape());
+  rng.fill_normal(g, 0.0f, 1.0f);
+  conv.forward(x, /*training=*/true);
+  for (auto _ : state) {
+    if (backward) {
+      Tensor gx = conv.backward(g);
+      benchmark::DoNotOptimize(gx.data());
+    } else {
+      Tensor y = conv.forward(x, /*training=*/false);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      spec.flops * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  set_num_threads(0);
+}
+
+std::vector<BenchSpec> register_all() {
+  std::vector<BenchSpec> specs;
+  for (const ConvCase& cs : kCases) {
+    const int64_t krows = cs.channels * 9;
+    const int64_t cols = cs.size * cs.size;  // stride 1, pad 1: same spatial size
+    for (const bool backward : {false, true}) {
+      for (const char* kernel : {"reference", "tiled"}) {
+        const std::vector<int> thread_counts =
+            std::string(kernel) == "tiled" ? std::vector<int>{1, 4} : std::vector<int>{1};
+        for (int threads : thread_counts) {
+          BenchSpec spec;
+          spec.kernel = kernel;
+          spec.threads = threads;
+          spec.m = cs.channels;
+          spec.k = krows;
+          spec.n = cols;
+          // Forward: one [Cout, krows] x [krows, cols] GEMM per image.
+          // Backward: dW (NT) + dcol (NN), 2x the forward GEMM work.
+          const double gemm_flops = 2.0 * static_cast<double>(cs.channels) *
+                                    static_cast<double>(krows) * static_cast<double>(cols) *
+                                    static_cast<double>(cs.batch);
+          spec.flops = backward ? 2.0 * gemm_flops : gemm_flops;
+          spec.name = std::string("conv/") + (backward ? "backward" : "forward") + "/" +
+                      spec.kernel + "/t" + std::to_string(threads) + "/b" +
+                      std::to_string(cs.batch) + "c" + std::to_string(cs.channels) + "s" +
+                      std::to_string(cs.size);
+          benchmark::RegisterBenchmark(spec.name.c_str(), run_conv, spec, cs, backward);
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::KernelBenchArgs args;
+  const std::vector<BenchSpec> specs = register_all();
+  if (!benchx::init_benchmark(argc, argv,
+                              "conv/(forward|backward)/(reference|tiled)/t1/b4c16s16",
+                              args)) {
+    return 1;
+  }
+  benchx::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = args.out.empty() ? "BENCH_conv.json" : args.out;
+  return benchx::write_kernel_json(path, "bench_conv", specs, reporter.rows) ? 0 : 1;
+}

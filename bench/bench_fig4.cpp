@@ -24,11 +24,13 @@ struct Panel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Figure 4",
                        "filter importance score distribution before/after pruning");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   const std::vector<Panel> all_panels = {
       {"VGG16-C10, conv layer 1", "vgg16", 10, 0},
@@ -41,7 +43,9 @@ int main() {
   // The micro scale runs the two primary panels to stay within a
   // single-core time budget; small/full run all four of the paper's.
   std::vector<Panel> panels = all_panels;
-  if (scale.name == "micro") {
+  if (scale.name == "smoke") {
+    panels = {all_panels[0]};
+  } else if (scale.name == "micro") {
     panels = {all_panels[0], all_panels[2]};
     std::cout << "(micro scale: running 2 of 4 panels; CAPR_SCALE=small runs all)\n\n";
   }

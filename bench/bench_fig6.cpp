@@ -22,15 +22,19 @@
 #include "report/experiment.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Figure 6", "comparison with previous pruning methods");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   // Micro scale compares on VGG16-C10 only (time budget on one core);
   // small/full also run the ResNet56 panel.
   std::vector<const char*> archs{"vgg16", "resnet56"};
-  if (scale.name == "micro") {
+  if (scale.name == "smoke") {
+    archs = {"vgg16"};
+  } else if (scale.name == "micro") {
     archs = {"vgg16"};
     std::cout << "(micro scale: VGG16-C10 panel only; CAPR_SCALE=small adds ResNet56)\n\n";
   }

@@ -10,10 +10,12 @@
 #include "report/experiment.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Figure 7", "average filter importance per layer, before vs after");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   struct Panel {
     const char* title;
@@ -29,7 +31,9 @@ int main() {
   // Micro scale runs the two primary panels (time budget); small/full
   // reproduce all four of the paper's.
   std::vector<Panel> panels = all_panels;
-  if (scale.name == "micro") {
+  if (scale.name == "smoke") {
+    panels = {all_panels[0]};
+  } else if (scale.name == "micro") {
     panels = {all_panels[0], all_panels[2]};
     std::cout << "(micro scale: running 2 of 4 panels; CAPR_SCALE=small runs all)\n\n";
   }

@@ -13,11 +13,13 @@
 #include "report/experiment.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Figure 8",
                        "score distribution under different regularization (VGG16-C10)");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   struct RegPanel {
     const char* name;
@@ -31,6 +33,7 @@ int main() {
   };
 
   for (const RegPanel& reg : regs) {
+    if (args.smoke && &reg != &regs[0]) break;  // smoke: first panel only
     std::cout << "training with " << reg.name << " ..." << std::endl;
     report::Workbench wb =
         report::prepare_workbench("vgg16", 10, scale, reg.lambda1, reg.lambda2);

@@ -7,6 +7,7 @@
 // utilization, DRAM traffic and energy. No training is involved — the
 // mapping depends only on layer shapes — so the sweep is exact and fast.
 #include <iostream>
+#include <vector>
 
 #include "core/surgeon.h"
 #include "hw/systolic.h"
@@ -32,7 +33,8 @@ void prune_uniform(nn::Model& m, double fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Hardware", "pruned models on a systolic-array cost model");
 
   hw::SystolicConfig array;
@@ -42,12 +44,17 @@ int main() {
   std::cout << "array: " << array.rows << "x" << array.cols << " PEs @ " << array.freq_ghz
             << " GHz, " << array.sram_bytes / 1024 << " KiB SRAM\n\n";
 
-  for (const char* arch : {"vgg16", "resnet56"}) {
+  const std::vector<const char*> archs =
+      args.smoke ? std::vector<const char*>{"vgg16"}
+                 : std::vector<const char*>{"vgg16", "resnet56"};
+  const std::vector<double> fractions =
+      args.smoke ? std::vector<double>{0.0, 0.5} : std::vector<double>{0.0, 0.25, 0.5, 0.75};
+  for (const char* arch : archs) {
     std::cout << "=== " << arch << " (paper geometry: 32x32 input, full width) ===\n";
     report::Table table({"Pruned filters", "MACs", "Cycles", "Latency", "Mean util.",
                          "DRAM", "Energy"});
     double base_cycles = 0.0;
-    for (double fraction : {0.0, 0.25, 0.5, 0.75}) {
+    for (double fraction : fractions) {
       models::BuildConfig cfg;
       cfg.num_classes = 10;
       cfg.input_size = 32;

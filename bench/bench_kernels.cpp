@@ -4,6 +4,10 @@
 // one forward per activation) that motivates the paper's approximation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/importance.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
@@ -133,4 +137,27 @@ BENCHMARK(BM_FullImportanceEvaluation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so CI can exercise the binary:
+// --smoke maps to a filter of the smallest shapes plus a tiny min-time,
+// proving every registered benchmark family actually runs. All other
+// flags pass straight through to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> bargv(argv, argv + argc);
+  const auto is_smoke = [](const char* s) { return std::string(s) == "--smoke"; };
+  const bool smoke = std::any_of(bargv.begin(), bargv.end(), is_smoke);
+  bargv.erase(std::remove_if(bargv.begin(), bargv.end(), is_smoke), bargv.end());
+  std::string filter = "--benchmark_filter=(BM_Gemm/32|BM_Im2Col/8|BM_ConvForward/16|"
+                       "BM_ConvBackward/16|BM_TaylorScoring|BM_ExactZeroOutScoring|"
+                       "BM_FullImportanceEvaluation)";
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) {
+    bargv.push_back(filter.data());
+    bargv.push_back(min_time.data());
+  }
+  int bargc = static_cast<int>(bargv.size());
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,10 +14,12 @@
 #include "report/experiment.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Ablation", "one-shot vs iterative pruning (VGG16-C10)");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   report::Workbench wb = report::prepare_workbench("vgg16", 10, scale);
   const auto checkpoint = wb.model.state_dict();

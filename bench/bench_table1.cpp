@@ -34,16 +34,19 @@ constexpr PaperRow kPaperRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Table I", "pruning results with the proposed method");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   report::Table table({"NN-Dataset", "Acc orig", "Acc pruned", "Prun. ratio", "FLOPs red.",
                        "paper(orig/pruned/ratio/flops)"});
   report::CsvWriter csv({"config", "acc_orig", "acc_pruned", "pruning_ratio",
                          "flops_reduction", "iterations", "stop_reason"});
   for (const PaperRow& row : kPaperRows) {
+    if (args.smoke && &row != &kPaperRows[0]) break;  // smoke: first row only
     std::cout << "running " << row.name << " ..." << std::endl;
     report::Workbench wb = report::prepare_workbench(row.arch, row.classes, scale);
     core::ClassAwarePrunerConfig cfg = report::pruner_config(scale);

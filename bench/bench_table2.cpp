@@ -27,10 +27,12 @@ constexpr PaperRow kRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Table II", "ResNet56-C10 under different pruning strategies");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   // One pre-trained checkpoint shared by all three strategies, so the
   // comparison isolates the selection rule.
@@ -43,6 +45,7 @@ int main() {
   report::Table table({"Strategy", "Acc pruned", "Drop", "Prun. ratio", "FLOPs red.",
                        "paper(pruned/drop/ratio/flops)"});
   for (const PaperRow& row : kRows) {
+    if (args.smoke && &row != &kRows[0]) break;  // smoke: first strategy only
     std::cout << "running strategy: " << row.name << " ..." << std::endl;
     wb.model.load_state_dict(checkpoint);
     core::ClassAwarePrunerConfig cfg = report::pruner_config(scale);

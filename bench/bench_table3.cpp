@@ -31,15 +31,19 @@ constexpr RegRow kRegs[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Table III", "performance with different cost functions");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   // Micro runs the VGG16 half of the paper's table (single-core budget);
   // small/full also run ResNet56.
   std::vector<const char*> archs{"vgg16", "resnet56"};
-  if (scale.name == "micro") {
+  if (scale.name == "smoke") {
+    archs = {"vgg16"};
+  } else if (scale.name == "micro") {
     archs = {"vgg16"};
     std::cout << "(micro scale: VGG16-C10 rows only; CAPR_SCALE=small adds ResNet56)\n\n";
   }
@@ -48,6 +52,7 @@ int main() {
     report::Table table({"Reg.", "Acc orig", "Acc pruned", "Drop", "Prun. ratio",
                          "FLOPs red.", "paper(pruned/ratio)"});
     for (const RegRow& reg : kRegs) {
+      if (args.smoke && &reg != &kRegs[0]) break;  // smoke: first row only
       std::cout << "training " << arch << " with reg = " << reg.name << " ..." << std::endl;
       report::Workbench wb =
           report::prepare_workbench(arch, 10, scale, reg.lambda1, reg.lambda2);

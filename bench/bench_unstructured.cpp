@@ -13,10 +13,12 @@
 #include "report/experiment.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace capr;
+  const report::BenchArgs args = report::parse_bench_args(argc, argv);
   report::print_banner("Background", "structured vs unstructured pruning (VGG16-C10)");
-  const report::ExperimentScale scale = report::scale_from_env();
+  const report::ExperimentScale scale =
+      args.smoke ? report::smoke_scale() : report::scale_from_env();
 
   report::Workbench wb = report::prepare_workbench("vgg16", 10, scale);
   const auto checkpoint = wb.model.state_dict();
@@ -25,7 +27,9 @@ int main() {
   report::Table table({"Method", "Acc after", "Weights zeroed", "Dense FLOPs red."});
 
   // Unstructured magnitude pruning at several sparsities.
-  for (float sparsity : {0.5f, 0.8f, 0.9f}) {
+  const std::vector<float> sparsities =
+      args.smoke ? std::vector<float>{0.5f} : std::vector<float>{0.5f, 0.8f, 0.9f};
+  for (float sparsity : sparsities) {
     wb.model = wb.factory();
     wb.model.load_state_dict(checkpoint);
     baselines::UnstructuredConfig cfg;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/gemm_tiled.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 
@@ -87,14 +88,15 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 
   Tensor out({n, out_channels_, oh, ow});
   const Tensor wmat = filter_matrix();
-  const int workers = std::min<int>(num_threads(), static_cast<int>(n));
-  std::vector<Tensor> col_scratch(static_cast<size_t>(std::max(workers, 1)),
-                                  Tensor({krows, cols}));
+  const int workers = std::max(1, std::min<int>(num_threads(), static_cast<int>(n)));
+  // Arena buffers (column matrix + GEMM packing) persist across calls, so
+  // the steady-state batch loop allocates nothing.
+  scratch_.prepare(workers);
   parallel_for(0, n, [&](int tid, int64_t i) {
-    Tensor& col = col_scratch[static_cast<size_t>(tid)];
-    im2col(input.data() + i * in_channels_ * h * w, g, col.data());
-    gemm(wmat.data(), col.data(), out.data() + i * out_channels_ * cols, out_channels_, krows,
-         cols);
+    float* col = scratch_.floats(tid, 0, krows * cols);
+    im2col(input.data() + i * in_channels_ * h * w, g, col);
+    gemm_auto(wmat.data(), col, out.data() + i * out_channels_ * cols, out_channels_, krows,
+              cols, /*accumulate=*/false, &scratch_.gemm(tid));
     if (has_bias_) {
       float* obase = out.data() + i * out_channels_ * cols;
       for (int64_t c = 0; c < out_channels_; ++c) {
@@ -129,54 +131,58 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const Tensor wmat = filter_matrix();   // [Cout, krows]
   const Tensor wmatT = transpose(wmat);  // [krows, Cout]
 
-  // Per-thread scratch: column matrices plus private dW/db accumulators,
-  // reduced after the batch loop (keeps the parallel region race-free).
+  // Per-thread scratch from the arena: column matrices plus private
+  // dW/db accumulators, reduced after the batch loop (keeps the parallel
+  // region race-free). Arena buffers are reused across calls, so the
+  // accumulators must be zeroed explicitly before the loop.
   const int workers = std::max(1, std::min<int>(num_threads(), static_cast<int>(n)));
-  struct Scratch {
-    Tensor col, colT, gcol, gw, gb;
-  };
-  std::vector<Scratch> scratch(static_cast<size_t>(workers));
-  for (Scratch& s : scratch) {
-    s.col = Tensor({krows, cols});
-    s.colT = Tensor({cols, krows});
-    s.gcol = Tensor({krows, cols});
-    s.gw = Tensor({out_channels_, krows});
-    s.gb = Tensor({has_bias_ ? out_channels_ : 0});
+  scratch_.prepare(workers);
+  const int64_t gwsz = out_channels_ * krows;
+  const int64_t gbsz = has_bias_ ? out_channels_ : 0;
+  enum Slot { kCol = 0, kGcol = 1, kGw = 2, kGb = 3 };
+  for (int tid = 0; tid < workers; ++tid) {
+    float* gw = scratch_.floats(tid, kGw, gwsz);
+    std::fill(gw, gw + gwsz, 0.0f);
+    if (has_bias_) {
+      float* gb = scratch_.floats(tid, kGb, gbsz);
+      std::fill(gb, gb + gbsz, 0.0f);
+    }
   }
 
   parallel_for(0, n, [&](int tid, int64_t i) {
-    Scratch& s = scratch[static_cast<size_t>(tid)];
     // Recompute im2col rather than caching per-image column matrices;
     // trades FLOPs for an O(batch) memory saving across deep stacks.
-    im2col(input.data() + i * in_channels_ * h * w, g, s.col.data());
+    float* col = scratch_.floats(tid, kCol, krows * cols);
+    float* gcol = scratch_.floats(tid, kGcol, krows * cols);
+    float* gw = scratch_.floats(tid, kGw, gwsz);
+    GemmScratch& gs = scratch_.gemm(tid);
+    im2col(input.data() + i * in_channels_ * h * w, g, col);
     const float* go = grad_output.data() + i * out_channels_ * cols;
 
-    // dW += go[Cout, cols] * col^T[cols, krows]; explicit transposes keep
-    // both GEMMs on the vectorised unit-stride kernel.
-    for (int64_t r = 0; r < krows; ++r) {
-      const float* crow = s.col.data() + r * cols;
-      for (int64_t j = 0; j < cols; ++j) s.colT[j * krows + r] = crow[j];
-    }
-    gemm(go, s.colT.data(), s.gw.data(), out_channels_, cols, krows, /*accumulate=*/true);
+    // dW += go[Cout, cols] * col[krows, cols]^T.
+    gemm_nt_auto(go, col, gw, out_channels_, cols, krows, /*accumulate=*/true, &gs);
 
     // dcol = W^T[krows, Cout] * go[Cout, cols]; then col2im into grad_in.
-    gemm(wmatT.data(), go, s.gcol.data(), krows, out_channels_, cols);
-    col2im(s.gcol.data(), g, grad_in.data() + i * in_channels_ * h * w);
+    gemm_auto(wmatT.data(), go, gcol, krows, out_channels_, cols, /*accumulate=*/false, &gs);
+    col2im(gcol, g, grad_in.data() + i * in_channels_ * h * w);
 
     if (has_bias_) {
+      float* gb = scratch_.floats(tid, kGb, gbsz);
       for (int64_t c = 0; c < out_channels_; ++c) {
         const float* gorow = go + c * cols;
         double acc = 0.0;
         for (int64_t j = 0; j < cols; ++j) acc += gorow[j];
-        s.gb[c] += static_cast<float>(acc);
+        gb[c] += static_cast<float>(acc);
       }
     }
   });
 
-  for (const Scratch& s : scratch) {
-    for (int64_t i = 0; i < s.gw.numel(); ++i) weight_.grad[i] += s.gw[i];
+  for (int tid = 0; tid < workers; ++tid) {
+    const float* gw = scratch_.floats(tid, kGw, gwsz);
+    for (int64_t i = 0; i < gwsz; ++i) weight_.grad[i] += gw[i];
     if (has_bias_) {
-      for (int64_t c = 0; c < out_channels_; ++c) bias_.grad[c] += s.gb[c];
+      const float* gb = scratch_.floats(tid, kGb, gbsz);
+      for (int64_t c = 0; c < out_channels_; ++c) bias_.grad[c] += gb[c];
     }
   }
   return grad_in;

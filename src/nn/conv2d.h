@@ -3,6 +3,7 @@
 
 #include "nn/layer.h"
 #include "tensor/im2col.h"
+#include "tensor/scratch.h"
 
 namespace capr::nn {
 
@@ -51,7 +52,8 @@ class Conv2d final : public Layer {
   bool has_bias_;
   Param weight_;
   Param bias_;
-  Tensor cached_input_;  // [N, Cin, H, W] kept for backward
+  Tensor cached_input_;   // [N, Cin, H, W] kept for backward
+  ScratchArena scratch_;  // per-worker im2col/GEMM buffers, reused across calls
 };
 
 /// Validates and normalises a channel-index list against `extent`:

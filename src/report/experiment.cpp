@@ -10,6 +10,37 @@
 
 namespace capr::report {
 
+ExperimentScale smoke_scale() {
+  ExperimentScale s;
+  s.name = "smoke";
+  s.image_size = 8;
+  s.width_mult = 0.25f;
+  s.train_per_class_c10 = 4;
+  s.test_per_class_c10 = 2;
+  s.train_per_class_c100 = 1;
+  s.test_per_class_c100 = 1;
+  s.pretrain_epochs = 1;
+  s.finetune_epochs = 1;
+  s.recovery_rounds = 1;
+  s.max_iterations = 1;
+  s.batch_size = 8;
+  s.images_per_class_scoring = 2;
+  return s;
+}
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--smoke") {
+      args.smoke = true;
+    } else if (flag == "--out" && i + 1 < argc) {
+      args.out = argv[++i];
+    }
+  }
+  return args;
+}
+
 ExperimentScale scale_from_env() {
   ExperimentScale s;
   const char* env = std::getenv("CAPR_SCALE");

@@ -49,6 +49,21 @@ struct ExperimentScale {
 /// Scale selected by $CAPR_SCALE (micro | small | full); micro if unset.
 ExperimentScale scale_from_env();
 
+/// Tiny scale for --smoke runs: just enough work to prove the binary
+/// executes end to end (CI compiles AND runs every bench this way).
+ExperimentScale smoke_scale();
+
+/// Command-line flags shared by every bench binary.
+struct BenchArgs {
+  bool smoke = false;        // --smoke: run the smoke_scale() workload cut
+  std::string out;           // --out FILE: result path (benches that emit files)
+};
+
+/// Parses --smoke / --out. Unknown flags are ignored (google-benchmark
+/// binaries pass their own flags through). Scale selection for benches:
+/// args.smoke ? smoke_scale() : scale_from_env().
+BenchArgs parse_bench_args(int argc, char** argv);
+
 /// A ready-to-prune experiment: synthetic dataset plus a model pre-trained
 /// with the paper's modified cost (Eq. 1). `factory` rebuilds a fresh
 /// unpruned copy of the same architecture (used for pruner rollback).

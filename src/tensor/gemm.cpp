@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/gemm_tiled.h"
+
 namespace capr {
 namespace {
 
@@ -38,6 +40,22 @@ void gemm(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_
   }
 }
 
+void gemm_tn_ref(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                 bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<size_t>(M * N) * sizeof(float));
+  // C[i,j] += A[k,i] * B[k,j]: rank-1 update per k keeps unit stride.
+  for (int64_t k = 0; k < K; ++k) {
+    const float* arow = a + k * M;
+    const float* brow = b + k * N;
+    for (int64_t i = 0; i < M; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + i * N;
+      for (int64_t j = 0; j < N; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require_rank2(a, "matmul lhs");
   require_rank2(b, "matmul rhs");
@@ -48,7 +66,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const int64_t N = b.dim(1);
   Tensor c({M, N});
-  gemm(a.data(), b.data(), c.data(), M, K, N);
+  gemm_auto(a.data(), b.data(), c.data(), M, K, N);
   return c;
 }
 
@@ -62,7 +80,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   const int64_t N = b.dim(0);
   Tensor c({M, N});
-  // C[i,j] = sum_k A[i,k] * B[j,k]: dot of two rows; contiguous on both.
+  if (gemm_kernel() == GemmKernel::kTiled) {
+    gemm_tiled_nt(a.data(), b.data(), c.data(), M, K, N);
+    return c;
+  }
+  // Reference form: C[i,j] = sum_k A[i,k] * B[j,k], a dot of two rows;
+  // contiguous on both, accumulated in double (plain IEEE propagation).
   for (int64_t i = 0; i < M; ++i) {
     const float* arow = a.data() + i * K;
     float* crow = c.data() + i * N;
@@ -86,17 +109,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   }
   const int64_t N = b.dim(1);
   Tensor c({M, N});
-  // C[i,j] = sum_k A[k,i] * B[k,j]: rank-1 update per k keeps unit stride.
-  for (int64_t k = 0; k < K; ++k) {
-    const float* arow = a.data() + k * M;
-    const float* brow = b.data() + k * N;
-    for (int64_t i = 0; i < M; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.data() + i * N;
-      for (int64_t j = 0; j < N; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  gemm_tn_auto(a.data(), b.data(), c.data(), M, K, N);
   return c;
 }
 

@@ -1,0 +1,310 @@
+#include "tensor/gemm_tiled.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+
+namespace capr {
+namespace {
+
+// Micro-tile: MR broadcast A values against NR-wide B streams, MR*NR
+// accumulators held in registers. 6x16 fits 12 8-wide (or 6 16-wide)
+// vector registers of accumulators with room for A broadcasts.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 16;
+// Cache blocks: the packed A block (MC x KC floats, ~72 KiB) stays L2
+// resident while the k-slice of packed B streams through it.
+constexpr int64_t MC = 72;
+constexpr int64_t KC = 256;
+// Below this many FLOPs (2*M*K*N) threading overhead beats the speedup;
+// the cut depends only on the shape, so dispatch stays deterministic.
+constexpr int64_t kParallelFlops = int64_t(1) << 23;
+
+std::atomic<GemmKernel> g_kernel_override{GemmKernel::kReference};
+std::atomic<bool> g_kernel_overridden{false};
+
+GemmKernel kernel_from_env() {
+  const char* v = std::getenv("CAPR_GEMM_KERNEL");
+  if (v == nullptr || *v == '\0') return GemmKernel::kTiled;
+  const std::string s(v);
+  if (s == "reference" || s == "ref") return GemmKernel::kReference;
+  return GemmKernel::kTiled;
+}
+
+/// Packs b into NR-wide column panels: panel p holds columns
+/// [p*NR, p*NR+NR) for every k, k-major, short panels zero-padded.
+/// Element (k, j) of the logical [K, N] operand lives at b[k*rs + j*cs].
+/// Returns false if any packed value is non-finite (strong-zero fallback).
+bool pack_b(const float* b, int64_t rs, int64_t cs, int64_t K, int64_t N, float* out) {
+  bool finite = true;
+  for (int64_t p = 0; p * NR < N; ++p) {
+    const int64_t j0 = p * NR;
+    const int64_t w = std::min(NR, N - j0);
+    float* panel = out + p * K * NR;
+    for (int64_t k = 0; k < K; ++k) {
+      const float* src = b + k * rs + j0 * cs;
+      float* dst = panel + k * NR;
+      for (int64_t j = 0; j < w; ++j) {
+        const float v = src[j * cs];
+        finite = finite && std::isfinite(v);
+        dst[j] = v;
+      }
+      for (int64_t j = w; j < NR; ++j) dst[j] = 0.0f;
+    }
+  }
+  return finite;
+}
+
+/// Packs rows [i0, i0+mc) x columns [k0, k0+kc) of the logical [M, K]
+/// operand (element (i, k) at a[i*rs + k*cs]) into MR-tall strips,
+/// k-major, short strips zero-padded.
+void pack_a(const float* a, int64_t rs, int64_t cs, int64_t i0, int64_t mc, int64_t k0,
+            int64_t kc, float* out) {
+  for (int64_t s = 0; s * MR < mc; ++s) {
+    const int64_t r0 = i0 + s * MR;
+    const int64_t rows = std::min(MR, i0 + mc - r0);
+    float* strip = out + s * MR * kc;
+    for (int64_t k = 0; k < kc; ++k) {
+      const float* src = a + r0 * rs + (k0 + k) * cs;
+      float* dst = strip + k * MR;
+      int64_t i = 0;
+      for (; i < rows; ++i) dst[i] = src[i * rs];
+      for (; i < MR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// One full C tile row as a generic vector: the compiler lowers ops on it
+// to the widest SIMD the target has (one zmm, two ymm, four xmm) and the
+// accumulators stay in registers. Autovectorisation of the scalar form
+// is not trusted here: GCC picks the 4-wide i-axis for it, an 8x loss.
+using vnr = float __attribute__((vector_size(64)));
+static_assert(NR * sizeof(float) == 64, "vnr must span one packed panel row");
+
+/// MR x NR register tile: c[0:mr, 0:nr] (+)= ap * bp over kc. ap is an
+/// MR-tall strip (k-major), bp an NR-wide panel slice (k-major). When
+/// `overwrite`, the tile is stored; otherwise added (C uninitialised
+/// reads never happen: overwrite is set exactly on the first k-block of
+/// a non-accumulating call). Per C element the additions run strictly
+/// k-ascending — vectorising across j keeps each element's own order.
+void micro_kernel(const float* __restrict ap, const float* __restrict bp, int64_t kc,
+                  float* __restrict c, int64_t ldc, int64_t mr, int64_t nr, bool overwrite) {
+  vnr acc[MR] = {};
+  for (int64_t k = 0; k < kc; ++k) {
+    vnr bv;
+    __builtin_memcpy(&bv, bp + k * NR, sizeof(bv));
+    const float* __restrict ak = ap + k * MR;
+    for (int64_t i = 0; i < MR; ++i) acc[i] += ak[i] * bv;
+  }
+  if (mr == MR && nr == NR) {
+    for (int64_t i = 0; i < MR; ++i) {
+      float* crow = c + i * ldc;
+      if (!overwrite) {
+        vnr cv;
+        __builtin_memcpy(&cv, crow, sizeof(cv));
+        acc[i] += cv;
+      }
+      __builtin_memcpy(crow, &acc[i], sizeof(acc[i]));
+    }
+  } else {
+    float tile[MR][NR];
+    __builtin_memcpy(tile, acc, sizeof(tile));
+    for (int64_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      if (overwrite) {
+        for (int64_t j = 0; j < nr; ++j) crow[j] = tile[i][j];
+      } else {
+        for (int64_t j = 0; j < nr; ++j) crow[j] += tile[i][j];
+      }
+    }
+  }
+}
+#else
+/// Portable scalar fallback of the tile above; same accumulation order.
+void micro_kernel(const float* __restrict ap, const float* __restrict bp, int64_t kc,
+                  float* __restrict c, int64_t ldc, int64_t mr, int64_t nr, bool overwrite) {
+  float acc[MR][NR] = {};
+  for (int64_t k = 0; k < kc; ++k) {
+    const float* __restrict bk = bp + k * NR;
+    const float* __restrict ak = ap + k * MR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const float av = ak[i];
+      for (int64_t j = 0; j < NR; ++j) acc[i][j] += av * bk[j];
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (overwrite) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] = acc[i][j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+#endif
+
+/// Strides locating element (i, k) of A and (k, j) of B inside the
+/// caller's buffers; lets one driver serve the NN / NT / TN variants.
+struct Operands {
+  int64_t a_rs, a_cs;
+  int64_t b_rs, b_cs;
+};
+
+/// One row block: all k-blocks, in order, against every B panel. The
+/// per-element accumulation order (k ascending) is identical no matter
+/// which worker runs the block.
+void run_mblock(const float* a, float* c, int64_t M, int64_t K, int64_t N, bool accumulate,
+                const Operands& op, const float* bpack, int64_t mb, std::vector<float>& apack) {
+  const int64_t i0 = mb * MC;
+  const int64_t mc = std::min(MC, M - i0);
+  const int64_t strips = (mc + MR - 1) / MR;
+  apack.resize(static_cast<size_t>(strips * MR * std::min(K, KC)));
+  const int64_t panels = (N + NR - 1) / NR;
+  for (int64_t k0 = 0; k0 < K; k0 += KC) {
+    const int64_t kc = std::min(KC, K - k0);
+    pack_a(a, op.a_rs, op.a_cs, i0, mc, k0, kc, apack.data());
+    const bool overwrite = k0 == 0 && !accumulate;
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t j0 = p * NR;
+      const int64_t nr = std::min(NR, N - j0);
+      const float* bp = bpack + p * K * NR + k0 * NR;
+      for (int64_t s = 0; s < strips; ++s) {
+        const int64_t i = i0 + s * MR;
+        micro_kernel(apack.data() + s * MR * kc, bp, kc, c + i * N + j0, N,
+                     std::min(MR, i0 + mc - i), nr, overwrite);
+      }
+    }
+  }
+}
+
+/// Shared driver. `fallback` re-runs the whole product on the strong-zero
+/// reference path; taken when B contains non-finite values.
+template <typename Fallback>
+void tiled_driver(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                  bool accumulate, GemmScratch* scratch, const Operands& op,
+                  const Fallback& fallback) {
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0) {
+    if (!accumulate) std::memset(c, 0, static_cast<size_t>(M * N) * sizeof(float));
+    return;
+  }
+  GemmScratch local;
+  GemmScratch& s = scratch != nullptr ? *scratch : local;
+  const int64_t panels = (N + NR - 1) / NR;
+  s.bpack.resize(static_cast<size_t>(panels * K * NR));
+  if (!pack_b(b, op.b_rs, op.b_cs, K, N, s.bpack.data())) {
+    fallback();
+    return;
+  }
+  const int64_t mblocks = (M + MC - 1) / MC;
+  const bool parallel = 2 * M * K * N >= kParallelFlops && mblocks > 1 && num_threads() > 1 &&
+                        !in_parallel_region();
+  if (!parallel) {
+    for (int64_t mb = 0; mb < mblocks; ++mb) {
+      run_mblock(a, c, M, K, N, accumulate, op, s.bpack.data(), mb, s.apack);
+    }
+    return;
+  }
+  // Row blocks across workers. bpack is written above, strictly before
+  // the threads spawn (happens-before via thread creation), and is
+  // read-only inside the region; each block writes a disjoint C range.
+  const int workers = static_cast<int>(std::min<int64_t>(mblocks, num_threads()));
+  std::vector<std::vector<float>> apacks(static_cast<size_t>(workers));
+  parallel_for(0, mblocks, [&](int tid, int64_t mb) {
+    run_mblock(a, c, M, K, N, accumulate, op, s.bpack.data(), mb,
+               apacks[static_cast<size_t>(tid)]);
+  });
+}
+
+}  // namespace
+
+GemmKernel gemm_kernel() {
+  if (g_kernel_overridden.load(std::memory_order_acquire)) {
+    return g_kernel_override.load(std::memory_order_relaxed);
+  }
+  static const GemmKernel from_env = kernel_from_env();
+  return from_env;
+}
+
+void set_gemm_kernel(GemmKernel k) {
+  g_kernel_override.store(k, std::memory_order_relaxed);
+  g_kernel_overridden.store(true, std::memory_order_release);
+}
+
+const char* to_string(GemmKernel k) {
+  return k == GemmKernel::kTiled ? "tiled" : "reference";
+}
+
+void gemm_tiled(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                bool accumulate, GemmScratch* scratch) {
+  tiled_driver(a, b, c, M, K, N, accumulate, scratch, Operands{K, 1, N, 1},
+               [&] { gemm(a, b, c, M, K, N, accumulate); });
+}
+
+void gemm_tiled_nt(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                   bool accumulate, GemmScratch* scratch) {
+  // Logical B = bT where b is [N, K]: element (k, j) sits at b[j*K + k].
+  GemmScratch local;
+  GemmScratch& s = scratch != nullptr ? *scratch : local;
+  tiled_driver(a, b, c, M, K, N, accumulate, &s, Operands{K, 1, 1, K}, [&] {
+    s.tpose.resize(static_cast<size_t>(K * N));
+    for (int64_t j = 0; j < N; ++j) {
+      const float* brow = b + j * K;
+      for (int64_t k = 0; k < K; ++k) s.tpose[static_cast<size_t>(k * N + j)] = brow[k];
+    }
+    gemm(a, s.tpose.data(), c, M, K, N, accumulate);
+  });
+}
+
+void gemm_tiled_tn(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                   bool accumulate, GemmScratch* scratch) {
+  // Logical A = aT where a is [K, M]: element (i, k) sits at a[k*M + i].
+  tiled_driver(a, b, c, M, K, N, accumulate, scratch, Operands{1, M, N, 1},
+               [&] { gemm_tn_ref(a, b, c, M, K, N, accumulate); });
+}
+
+void gemm_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+               bool accumulate, GemmScratch* scratch) {
+  if (gemm_kernel() == GemmKernel::kTiled) {
+    gemm_tiled(a, b, c, M, K, N, accumulate, scratch);
+  } else {
+    gemm(a, b, c, M, K, N, accumulate);
+  }
+}
+
+void gemm_nt_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                  bool accumulate, GemmScratch* scratch) {
+  if (gemm_kernel() == GemmKernel::kTiled) {
+    gemm_tiled_nt(a, b, c, M, K, N, accumulate, scratch);
+    return;
+  }
+  // Reference lowering: explicit transpose + strong-zero gemm (the
+  // historical conv2d backward dW path).
+  GemmScratch local;
+  GemmScratch& s = scratch != nullptr ? *scratch : local;
+  s.tpose.resize(static_cast<size_t>(K * N));
+  for (int64_t j = 0; j < N; ++j) {
+    const float* brow = b + j * K;
+    for (int64_t k = 0; k < K; ++k) s.tpose[static_cast<size_t>(k * N + j)] = brow[k];
+  }
+  gemm(a, s.tpose.data(), c, M, K, N, accumulate);
+}
+
+void gemm_tn_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                  bool accumulate, GemmScratch* scratch) {
+  if (gemm_kernel() == GemmKernel::kTiled) {
+    gemm_tiled_tn(a, b, c, M, K, N, accumulate, scratch);
+  } else {
+    gemm_tn_ref(a, b, c, M, K, N, accumulate);
+  }
+}
+
+}  // namespace capr

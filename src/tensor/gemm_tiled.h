@@ -1,0 +1,79 @@
+// High-performance tiled GEMM path and the runtime kernel switch.
+//
+// The reference kernel in gemm.h is a cache-blocked triple loop; it is
+// the semantic authority (strong zeros, see gemm.h) but leaves most of
+// the machine idle. This file adds the fast path used by default:
+//
+//   * B is packed into NR-wide column panels (contiguous, unit-stride
+//     streams for the micro-kernel) and A into MR-tall row strips;
+//   * an MR x NR (6x16) register-tiled micro-kernel accumulates C in
+//     registers, with scalar remainder edges for partial tiles;
+//   * row blocks of C are distributed over workers with parallel_for.
+//
+// Determinism: every C element is accumulated in a fixed k-order that
+// does not depend on the worker count or chunk boundaries, so results
+// are BITWISE identical for any set_num_threads() value (pinned by
+// tests/determinism_test.cpp).
+//
+// Strong-zero contract: the micro-kernel is plain IEEE arithmetic (no
+// zero-skip), which would let NaN/Inf in B leak past pruned/masked
+// exact-zero weights in A. The packing pass therefore scans B; if any
+// element is non-finite the whole call falls back to the strong-zero
+// reference kernel. Finite inputs (all benchmarks, all training) take
+// the fast path; masked models with poisoned activations keep the
+// reference semantics pinned by tests/gemm_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/scratch.h"
+
+namespace capr {
+
+/// Which kernel matmul/matmul_nt/matmul_tn/conv2d route through.
+enum class GemmKernel {
+  kReference,  // gemm.cpp triple loop: strong zeros, always available
+  kTiled,      // packed + register-tiled + multithreaded (this file)
+};
+
+/// Active kernel. Initialised once from $CAPR_GEMM_KERNEL
+/// ("tiled" | "reference"/"ref"; default tiled), then overridable.
+GemmKernel gemm_kernel();
+void set_gemm_kernel(GemmKernel k);
+const char* to_string(GemmKernel k);
+
+/// Pins the kernel for one scope; restores the previous one. Test helper.
+struct GemmKernelScope {
+  GemmKernel saved;
+  explicit GemmKernelScope(GemmKernel k) : saved(gemm_kernel()) { set_gemm_kernel(k); }
+  ~GemmKernelScope() { set_gemm_kernel(saved); }
+  GemmKernelScope(const GemmKernelScope&) = delete;
+  GemmKernelScope& operator=(const GemmKernelScope&) = delete;
+};
+
+/// Tiled kernels over contiguous row-major buffers. `scratch` (optional)
+/// makes the packing buffers reusable across calls; pass one per thread.
+/// All three preserve the strong-zero contract by routing calls whose B
+/// operand contains non-finite values through the reference kernel.
+///
+/// c[M,N] (+)= a[M,K] * b[K,N]
+void gemm_tiled(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                bool accumulate = false, GemmScratch* scratch = nullptr);
+/// c[M,N] (+)= a[M,K] * b[N,K]^T
+void gemm_tiled_nt(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                   bool accumulate = false, GemmScratch* scratch = nullptr);
+/// c[M,N] (+)= a[K,M]^T * b[K,N]
+void gemm_tiled_tn(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                   bool accumulate = false, GemmScratch* scratch = nullptr);
+
+/// Dispatchers honouring gemm_kernel(). The reference paths keep the
+/// historical semantics: gemm for NN, transpose-then-gemm for NT (the
+/// pre-tiling conv2d backward lowering), gemm_tn_ref for TN.
+void gemm_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+               bool accumulate = false, GemmScratch* scratch = nullptr);
+void gemm_nt_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                  bool accumulate = false, GemmScratch* scratch = nullptr);
+void gemm_tn_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
+                  bool accumulate = false, GemmScratch* scratch = nullptr);
+
+}  // namespace capr

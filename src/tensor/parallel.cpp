@@ -11,6 +11,17 @@ namespace {
 
 std::atomic<int> g_num_threads{0};  // 0 = uninitialised -> hardware concurrency
 
+thread_local bool t_in_worker = false;
+
+/// Marks the current thread as a parallel_for worker for one scope.
+struct WorkerScope {
+  bool saved;
+  WorkerScope() : saved(t_in_worker) { t_in_worker = true; }
+  ~WorkerScope() { t_in_worker = saved; }
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+};
+
 int resolve_default() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -25,12 +36,16 @@ int num_threads() {
   return n == 0 ? resolve_default() : n;
 }
 
+bool in_parallel_region() { return t_in_worker; }
+
 void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int64_t)>& fn) {
   const int64_t count = end - begin;
   if (count <= 0) return;
   const int workers = static_cast<int>(
       std::min<int64_t>(count, static_cast<int64_t>(num_threads())));
-  if (workers <= 1) {
+  if (workers <= 1 || t_in_worker) {
+    // Single worker, or already inside a worker: nested regions run
+    // inline rather than spawning threads from threads.
     for (int64_t i = begin; i < end; ++i) fn(0, i);
     return;
   }
@@ -45,6 +60,7 @@ void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int6
   std::exception_ptr error;
   std::atomic<bool> has_error{false};
   const auto run_chunk = [&](int tid) {
+    const WorkerScope scope;
     const int64_t chunk = (count + workers - 1) / workers;
     const int64_t lo = begin + tid * chunk;
     const int64_t hi = std::min(end, lo + chunk);

@@ -22,8 +22,16 @@ int num_threads();
 /// Invokes fn(thread_index, i) for every i in [begin, end), partitioned
 /// into contiguous chunks across workers. fn must only touch state that
 /// is disjoint per i or per thread_index. Runs inline when the range is
-/// small or only one worker is configured.
+/// small, only one worker is configured, or the caller is itself inside
+/// a parallel_for worker (nested regions never oversubscribe; the nested
+/// call sees thread_index 0 for every i).
 void parallel_for(int64_t begin, int64_t end,
                   const std::function<void(int, int64_t)>& fn);
+
+/// True while the calling thread is executing inside a parallel_for
+/// chunk (including the caller-thread chunk). Lets nested hot paths —
+/// e.g. the tiled GEMM inside conv2d's batch loop — choose their serial
+/// variant instead of spawning threads from threads.
+bool in_parallel_region();
 
 }  // namespace capr

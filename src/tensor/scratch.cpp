@@ -1,0 +1,39 @@
+#include "tensor/scratch.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace capr {
+
+void ScratchArena::prepare(int workers) {
+  if (workers < 1) workers = 1;
+  while (workers_.size() < static_cast<size_t>(workers)) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+float* ScratchArena::floats(int tid, int slot, int64_t count) {
+  if (tid < 0 || static_cast<size_t>(tid) >= workers_.size()) {
+    throw std::logic_error("ScratchArena: tid " + std::to_string(tid) +
+                           " outside the prepared worker count " +
+                           std::to_string(workers_.size()));
+  }
+  Worker& w = *workers_[static_cast<size_t>(tid)];
+  if (static_cast<size_t>(slot) >= w.slots.size()) {
+    w.slots.resize(static_cast<size_t>(slot) + 1);
+  }
+  std::vector<float>& buf = w.slots[static_cast<size_t>(slot)];
+  if (buf.size() < static_cast<size_t>(count)) buf.resize(static_cast<size_t>(count));
+  return buf.data();
+}
+
+GemmScratch& ScratchArena::gemm(int tid) {
+  if (tid < 0 || static_cast<size_t>(tid) >= workers_.size()) {
+    throw std::logic_error("ScratchArena: tid " + std::to_string(tid) +
+                           " outside the prepared worker count " +
+                           std::to_string(workers_.size()));
+  }
+  return workers_[static_cast<size_t>(tid)]->gemm;
+}
+
+}  // namespace capr

@@ -1,0 +1,63 @@
+// Reusable per-worker scratch buffers for the hot kernels.
+//
+// The im2col/GEMM lowering needs large temporaries (column matrices,
+// packed panels, per-thread gradient accumulators). Allocating them per
+// call dominated small-batch conv cost; a ScratchArena owns one set of
+// monotonically growing buffers per worker slot so steady-state forward/
+// backward passes perform no allocation at all.
+//
+// Thread-safety contract: prepare(workers) must be called before a
+// parallel region; afterwards each worker may only touch its own tid's
+// buffers. Buffers are never shrunk and never freed until the arena dies,
+// so pointers returned by floats() stay valid for the whole parallel
+// region (but are invalidated by the next same-slot request with a larger
+// count).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace capr {
+
+/// Scratch space of one tiled-GEMM invocation (packed panels plus a
+/// transpose buffer for the strong-zero fallback). Reusable across calls;
+/// buffers grow monotonically. See gemm_tiled.h.
+struct GemmScratch {
+  std::vector<float> apack;
+  std::vector<float> bpack;
+  std::vector<float> tpose;
+};
+
+/// Per-worker scratch buffers, reused across calls (see file comment).
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+  ScratchArena(ScratchArena&&) = default;
+  ScratchArena& operator=(ScratchArena&&) = default;
+
+  /// Ensures slots for worker ids [0, workers) exist. Must be called from
+  /// the owning thread BEFORE the parallel region that uses them.
+  void prepare(int workers);
+
+  /// Uninitialised buffer of at least `count` floats for (tid, slot).
+  /// tid must be below the last prepare() count; slots are small dense
+  /// indices (0, 1, 2, ...) chosen by the caller.
+  float* floats(int tid, int slot, int64_t count);
+
+  /// Tiled-GEMM scratch owned by worker `tid`.
+  GemmScratch& gemm(int tid);
+
+ private:
+  struct Worker {
+    std::vector<std::vector<float>> slots;
+    GemmScratch gemm;
+  };
+  // unique_ptr keeps Worker objects stable if prepare() grows the vector
+  // between parallel regions.
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace capr

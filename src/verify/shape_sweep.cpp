@@ -7,6 +7,7 @@
 
 #include "nn/conv2d.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_tiled.h"
 #include "tensor/parallel.h"
 #include "tensor/rng.h"
 #include "testutil/testutil.h"
@@ -126,6 +127,69 @@ SweepResult sweep_gemm(const SweepOptions& opts) {
     gemm(a.data(), b.data(), c_opt.data(), m, k, n, /*accumulate=*/true);
     ref_gemm(a.data(), b.data(), c_ref.data(), m, k, n, /*accumulate=*/true);
     record(r, allclose_report(c_opt, c_ref, opts.atol, opts.rtol), "gemm(accumulate)", config);
+
+    ++r.configs_run;
+  }
+  return r;
+}
+
+std::vector<GemmShape> remainder_gemm_shapes() {
+  // MR=6, NR=16, KC=256 (gemm_tiled.cpp). One value either side of each
+  // tile boundary plus 1 and a prime that is coprime to every tile size.
+  const int64_t mn[] = {1, 5, 6, 7, 15, 16, 17, 31};
+  const int64_t ks[] = {1, 5, 127, 255, 256, 257};
+  std::vector<GemmShape> shapes;
+  shapes.reserve(sizeof(mn) / sizeof(mn[0]) * sizeof(ks) / sizeof(ks[0]) *
+                 sizeof(mn) / sizeof(mn[0]));
+  for (int64_t m : mn) {
+    for (int64_t k : ks) {
+      for (int64_t n : mn) shapes.push_back({m, k, n});
+    }
+  }
+  return shapes;
+}
+
+SweepResult sweep_gemm_tiled(const std::vector<GemmShape>& shapes, const SweepOptions& opts) {
+  Rng rng(opts.seed);
+  SweepResult r;
+  for (const GemmShape& sh : shapes) {
+    std::ostringstream cs;
+    cs << "M=" << sh.m << " K=" << sh.k << " N=" << sh.n;
+    const std::string config = cs.str();
+
+    const Tensor a = random(rng, {sh.m, sh.k});
+    const Tensor b = random(rng, {sh.k, sh.n});
+    Tensor c_tiled({sh.m, sh.n});
+    Tensor c_ref({sh.m, sh.n});
+
+    gemm_tiled(a.data(), b.data(), c_tiled.data(), sh.m, sh.k, sh.n);
+    gemm(a.data(), b.data(), c_ref.data(), sh.m, sh.k, sh.n);
+    record(r, allclose_report(c_tiled, c_ref, opts.atol, opts.rtol), "gemm_tiled", config);
+
+    // Accumulate path: both kernels fold into the same random C.
+    Tensor acc_tiled = random(rng, {sh.m, sh.n});
+    Tensor acc_ref = acc_tiled;
+    gemm_tiled(a.data(), b.data(), acc_tiled.data(), sh.m, sh.k, sh.n, /*accumulate=*/true);
+    gemm(a.data(), b.data(), acc_ref.data(), sh.m, sh.k, sh.n, /*accumulate=*/true);
+    record(r, allclose_report(acc_tiled, acc_ref, opts.atol, opts.rtol),
+           "gemm_tiled(accumulate)", config);
+
+    // NT: tiled reads B as [N, K] transposed; reference needs it packed
+    // back to [K, N] row-major.
+    const Tensor bt = random(rng, {sh.n, sh.k});
+    Tensor bt_as_b({sh.k, sh.n});
+    for (int64_t j = 0; j < sh.n; ++j) {
+      for (int64_t k = 0; k < sh.k; ++k) bt_as_b[k * sh.n + j] = bt[j * sh.k + k];
+    }
+    gemm_tiled_nt(a.data(), bt.data(), c_tiled.data(), sh.m, sh.k, sh.n);
+    gemm(a.data(), bt_as_b.data(), c_ref.data(), sh.m, sh.k, sh.n);
+    record(r, allclose_report(c_tiled, c_ref, opts.atol, opts.rtol), "gemm_tiled_nt", config);
+
+    // TN: tiled reads A as [K, M] transposed.
+    const Tensor at = random(rng, {sh.k, sh.m});
+    gemm_tiled_tn(at.data(), b.data(), c_tiled.data(), sh.m, sh.k, sh.n);
+    gemm_tn_ref(at.data(), b.data(), c_ref.data(), sh.m, sh.k, sh.n);
+    record(r, allclose_report(c_tiled, c_ref, opts.atol, opts.rtol), "gemm_tiled_tn", config);
 
     ++r.configs_run;
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace capr::verify {
 
@@ -36,6 +37,25 @@ struct SweepResult {
 /// matmul / matmul_nt / matmul_tn / raw gemm (incl. accumulate path)
 /// against ref_* over random (M, K, N).
 SweepResult sweep_gemm(const SweepOptions& opts = {});
+
+/// One GEMM problem size for the tiled-vs-reference sweeps below.
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+/// Adversarial tile-remainder shapes for the tiled kernel: M and N drawn
+/// from one-off-the-register-tile values {1, MR±1, MR, NR±1, NR, prime},
+/// K from one-off-the-cache-block values {1, 5, 127, KC±1, KC}, crossed.
+/// Every remainder edge of the packing and micro-kernel store paths is
+/// hit at least once.
+std::vector<GemmShape> remainder_gemm_shapes();
+
+/// Differential sweep of the TILED kernel against the reference kernel
+/// over explicit shapes: gemm_tiled / gemm_tiled_nt / gemm_tiled_tn plus
+/// the NN accumulate path, with random finite operands. Callers supply
+/// the shape list (remainder_gemm_shapes(), builder-arch im2col shapes).
+SweepResult sweep_gemm_tiled(const std::vector<GemmShape>& shapes,
+                             const SweepOptions& opts = {});
 
 /// im2col and col2im against the references over random geometries, plus
 /// the adjoint identity <im2col(x), y> == <x, col2im(y)>.

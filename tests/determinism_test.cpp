@@ -14,6 +14,7 @@
 #include "models/builders.h"
 #include "nn/conv2d.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_tiled.h"
 #include "tensor/parallel.h"
 #include "test_util.h"
 #include "verify/shape_sweep.h"
@@ -68,6 +69,55 @@ TEST(DeterminismTest, ConvSweepOneVsEightWorkers) {
   opts.threads_high = 8;
   const verify::SweepResult r = verify::sweep_conv2d_determinism(opts);
   EXPECT_GE(r.configs_run, 50);
+  EXPECT_TRUE(r.ok()) << r.first_failure;
+}
+
+TEST(DeterminismTest, TiledGemmIsBitwiseAcrossThreadCounts) {
+  // Big enough that the tiled path actually threads (2*M*K*N >= 2^23
+  // and several row blocks), with remainders in every dimension. Each C
+  // element is accumulated in fixed k-order regardless of workers.
+  ThreadGuard guard;
+  const Tensor a = testing::random_tensor({200, 300}, 31);
+  const Tensor b = testing::random_tensor({300, 190}, 32);
+  Tensor c1({200, 190});
+  set_num_threads(1);
+  gemm_tiled(a.data(), b.data(), c1.data(), 200, 300, 190);
+  for (int workers : {2, 3, 8}) {
+    set_num_threads(workers);
+    Tensor cn({200, 190});
+    gemm_tiled(a.data(), b.data(), cn.data(), 200, 300, 190);
+    EXPECT_TRUE(bitwise_equal(cn, c1)) << workers << " workers";
+  }
+}
+
+TEST(DeterminismTest, ThreadCountChangeMidSweepDoesNotChangeResults) {
+  // Regression: calling set_num_threads between (or during) sweeps must
+  // not alter any tiled result — thread count only partitions row
+  // blocks, never the per-element accumulation order.
+  ThreadGuard guard;
+  const Tensor a = testing::random_tensor({150, 280}, 33);
+  const Tensor b = testing::random_tensor({280, 170}, 34);
+  set_num_threads(1);
+  Tensor want({150, 170});
+  gemm_tiled(a.data(), b.data(), want.data(), 150, 280, 170);
+
+  const int plan[] = {4, 1, 6, 2, 8};
+  for (size_t step = 0; step < sizeof(plan) / sizeof(plan[0]); ++step) {
+    set_num_threads(plan[step]);
+    Tensor got({150, 170});
+    gemm_tiled(a.data(), b.data(), got.data(), 150, 280, 170);
+    EXPECT_TRUE(bitwise_equal(got, want)) << "step " << step << " (" << plan[step]
+                                          << " workers)";
+  }
+}
+
+TEST(DeterminismTest, TiledRemainderSweepIsCleanUnderManyThreads) {
+  // The full remainder grid under a high worker count: small shapes stay
+  // serial (below the FLOP cut), the decision is shape-only, and every
+  // shape still matches the reference kernel.
+  ThreadGuard guard;
+  set_num_threads(8);
+  const verify::SweepResult r = verify::sweep_gemm_tiled(verify::remainder_gemm_shapes());
   EXPECT_TRUE(r.ok()) << r.first_failure;
 }
 

@@ -1,0 +1,136 @@
+// Differential tests of the tiled GEMM against the reference kernel:
+// adversarial tile-remainder shapes, and the exact im2col GEMM shapes
+// every builder architecture lowers to.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/shape_inference.h"
+#include "models/builders.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_tiled.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+#include "testutil/testutil.h"
+#include "verify/shape_sweep.h"
+
+namespace capr {
+namespace {
+
+using verify::GemmShape;
+using verify::SweepOptions;
+using verify::SweepResult;
+
+TEST(GemmTiledRemainderTest, ShapeGridCoversAllTileEdges) {
+  const std::vector<GemmShape> shapes = verify::remainder_gemm_shapes();
+  // 8 M-values x 6 K-values x 8 N-values; every M/N is <= 31 so each
+  // shape exercises partial strips/panels, and K spans the KC boundary.
+  EXPECT_EQ(shapes.size(), 8u * 6u * 8u);
+  const auto has = [&](int64_t m, int64_t k, int64_t n) {
+    return std::any_of(shapes.begin(), shapes.end(), [&](const GemmShape& s) {
+      return s.m == m && s.k == k && s.n == n;
+    });
+  };
+  EXPECT_TRUE(has(1, 1, 1));        // degenerate minimum
+  EXPECT_TRUE(has(5, 255, 15));     // one under every tile boundary
+  EXPECT_TRUE(has(7, 257, 17));     // one over every tile boundary
+  EXPECT_TRUE(has(31, 127, 31));    // primes, coprime to MR/NR/KC
+}
+
+TEST(GemmTiledRemainderTest, TiledMatchesReferenceOnRemainderGrid) {
+  const SweepResult r = verify::sweep_gemm_tiled(verify::remainder_gemm_shapes());
+  EXPECT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_EQ(r.failures, 0) << r.first_failure;
+}
+
+/// The (M, K, N) GEMM problems conv lowering produces for one model:
+/// forward computes [Cout, Cin*k*k] x [Cin*k*k, OH*OW] per image.
+std::vector<GemmShape> im2col_gemm_shapes(const std::string& arch) {
+  models::BuildConfig cfg;
+  nn::Model model = models::make_model(arch, cfg);
+
+  std::vector<nn::Conv2d*> convs;
+  model.net->visit([&](nn::Layer& l) {
+    if (auto* c = dynamic_cast<nn::Conv2d*>(&l)) convs.push_back(c);
+  });
+
+  const analysis::ShapeTrace trace = analysis::infer_shapes(model);
+  EXPECT_TRUE(trace.report.ok()) << arch << ": shape inference failed";
+
+  std::vector<GemmShape> shapes;
+  size_t ci = 0;
+  for (const analysis::ShapeStep& step : trace.steps) {
+    if (step.kind != "conv2d") continue;
+    if (ci >= convs.size()) {
+      ADD_FAILURE() << arch << ": more conv steps than conv layers";
+      return shapes;
+    }
+    nn::Conv2d* conv = convs[ci++];
+    EXPECT_EQ(step.in.size(), 3u);
+    EXPECT_EQ(step.in[0], conv->in_channels()) << arch << " layer " << step.layer;
+    EXPECT_EQ(step.out[0], conv->out_channels()) << arch << " layer " << step.layer;
+    shapes.push_back({conv->out_channels(),
+                      conv->in_channels() * conv->kernel() * conv->kernel(),
+                      step.out[1] * step.out[2]});
+  }
+  EXPECT_EQ(ci, convs.size()) << arch << ": conv layer/step count mismatch";
+  // Dedupe repeated layer shapes (ResNet stages repeat identical blocks).
+  std::sort(shapes.begin(), shapes.end(), [](const GemmShape& a, const GemmShape& b) {
+    return std::tie(a.m, a.k, a.n) < std::tie(b.m, b.k, b.n);
+  });
+  shapes.erase(std::unique(shapes.begin(), shapes.end(),
+                           [](const GemmShape& a, const GemmShape& b) {
+                             return a.m == b.m && a.k == b.k && a.n == b.n;
+                           }),
+               shapes.end());
+  return shapes;
+}
+
+class ArchGemmShapeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArchGemmShapeTest, TiledMatchesReferenceOnArchShapes) {
+  const std::vector<GemmShape> shapes = im2col_gemm_shapes(GetParam());
+  ASSERT_FALSE(shapes.empty());
+  SweepOptions opts;
+  opts.seed = 0xA2C4;
+  const SweepResult r = verify::sweep_gemm_tiled(shapes, opts);
+  EXPECT_EQ(r.configs_run, static_cast<int>(shapes.size()));
+  EXPECT_TRUE(r.ok()) << GetParam() << ": " << r.first_failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilderArchs, ArchGemmShapeTest,
+                         ::testing::ValuesIn(models::available_archs()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(GemmTiledEdgeTest, EmptyExtentsAreHandled) {
+  // K=0 must zero (or preserve, under accumulate) C without reading A/B.
+  std::vector<float> c{1.0f, 2.0f, 3.0f, 4.0f};
+  gemm_tiled(nullptr, nullptr, c.data(), 2, 0, 2);
+  EXPECT_EQ(c, (std::vector<float>{0.0f, 0.0f, 0.0f, 0.0f}));
+  c = {1.0f, 2.0f, 3.0f, 4.0f};
+  gemm_tiled(nullptr, nullptr, c.data(), 2, 0, 2, /*accumulate=*/true);
+  EXPECT_EQ(c, (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+}
+
+TEST(GemmTiledEdgeTest, ScratchReuseAcrossDifferentShapes) {
+  // A shared GemmScratch must be safe to reuse as sizes grow and shrink.
+  GemmScratch scratch;
+  Rng rng(77);
+  for (int64_t mkn : {300L, 7L, 65L, 1L, 130L}) {
+    Tensor a({mkn, mkn}), b({mkn, mkn});
+    rng.fill_uniform(a, -1.0f, 1.0f);
+    rng.fill_uniform(b, -1.0f, 1.0f);
+    Tensor got({mkn, mkn}), want({mkn, mkn});
+    gemm_tiled(a.data(), b.data(), got.data(), mkn, mkn, mkn, false, &scratch);
+    gemm(a.data(), b.data(), want.data(), mkn, mkn, mkn);
+    const auto rep = testing::allclose_report(got, want, 1e-4f, 1e-3f);
+    EXPECT_TRUE(rep.ok) << "mkn=" << mkn << ": " << rep.message;
+  }
+}
+
+}  // namespace
+}  // namespace capr

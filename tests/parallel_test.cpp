@@ -130,6 +130,30 @@ TEST(ParallelForTest, FailedSweepAbortsEarlyAndPoolStaysUsable) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForTest, NestedParallelForRunsInlineAndCoversRange) {
+  // A parallel_for issued from inside a worker must not spawn threads
+  // from threads: the nested loop runs inline on the calling worker
+  // (tid 0 from its own perspective) and still covers its whole range.
+  // This is what lets conv2d batch workers call the tiled GEMM safely.
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::vector<std::atomic<int>> hits(8 * 16);
+  std::atomic<int> nested_nonzero_tid{0};
+  std::atomic<int> outside_region{0};
+  parallel_for(0, 8, [&](int, int64_t i) {
+    if (!in_parallel_region()) ++outside_region;
+    parallel_for(0, 16, [&](int tid, int64_t j) {
+      if (tid != 0) ++nested_nonzero_tid;
+      ++hits[static_cast<size_t>(i * 16 + j)];
+    });
+  });
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_EQ(outside_region.load(), 0);       // every body saw itself in-region
+  EXPECT_EQ(nested_nonzero_tid.load(), 0);   // nested loop stayed inline
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ParallelForTest, NumThreadsDefaultsPositive) {
   ThreadGuard guard;
   set_num_threads(0);
