@@ -1,0 +1,250 @@
+// Serving-runtime load benchmark: queries/sec and tail latency of the
+// InferenceServer across architecture x kernel x worker-count x
+// micro-batch size, for dense and pruned models. Emits BENCH_serve.json
+// (schema capr-serve-bench-v1).
+//
+// Each benchmark iteration submits a burst of requests to a running
+// server and waits for every future; QPS is requests / wall time and the
+// latency percentiles come from the per-request submit->completion
+// timestamps the server records. The interesting comparison is
+// max_batch=1 vs max_batch=8 at equal worker count: coalescing amortises
+// per-call overhead (weight-matrix staging, im2col setup) so batched QPS
+// should win even on one core.
+//
+//   bench_serve                full sweep, writes BENCH_serve.json
+//   bench_serve --smoke        one tiny case, tiny min-time (CI)
+//   bench_serve --out FILE     alternate output path
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernel_bench.h"
+#include "core/surgeon.h"
+#include "models/builders.h"
+#include "report/json.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "tensor/gemm_tiled.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace capr;
+
+struct ServeSpec {
+  std::string name;     // e.g. "serve/resnet20/dense/tiled/w1/b8"
+  std::string arch;     // builder name
+  std::string variant;  // "dense" | "pruned"
+  std::string kernel;   // "reference" | "tiled"
+  int workers = 1;
+  size_t max_batch = 1;
+};
+
+struct ServeRow {
+  std::string name;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double real_time_s = 0.0;
+  int64_t iterations = 0;
+};
+
+constexpr int kBurst = 32;  // requests submitted per benchmark iteration
+
+/// Builds the spec's model: random-initialised weights (throughput does
+/// not depend on the values), with half of every prunable unit's filters
+/// removed for the "pruned" variant.
+std::shared_ptr<const serve::InferenceSession> make_session(const ServeSpec& spec) {
+  models::BuildConfig cfg;
+  cfg.init_seed = 7;
+  nn::Model model = models::make_model(spec.arch, cfg);
+  if (spec.variant == "pruned") {
+    for (size_t u = 0; u < model.units.size(); ++u) {
+      const int64_t have = model.units[u].conv->out_channels();
+      std::vector<int64_t> drop;
+      for (int64_t f = have / 2; f < have; ++f) drop.push_back(f);
+      if (!drop.empty()) core::remove_filters(model, u, drop);
+    }
+  }
+  return std::make_shared<const serve::InferenceSession>(std::move(model));
+}
+
+void run_serve(benchmark::State& state, const ServeSpec spec) {
+  const GemmKernelScope scope(spec.kernel == "tiled" ? GemmKernel::kTiled
+                                                     : GemmKernel::kReference);
+  std::shared_ptr<const serve::InferenceSession> session = make_session(spec);
+  serve::ServerConfig cfg;
+  cfg.workers = spec.workers;
+  cfg.queue_capacity = kBurst * 2;
+  cfg.max_batch = spec.max_batch;
+  cfg.max_delay_us = 200;
+  serve::InferenceServer server(session, cfg);
+
+  const Shape& in = session->input_shape();
+  Rng rng(42);
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 8; ++i) {
+    Tensor s({in[0], in[1], in[2]});
+    rng.fill_normal(s, 0.0f, 1.0f);
+    samples.push_back(std::move(s));
+  }
+
+  std::vector<int64_t> latencies;
+  std::vector<std::future<serve::InferResult>> futs(kBurst);
+  int64_t sample_idx = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < kBurst; ++r) {
+      futs[static_cast<size_t>(r)] =
+          server.submit(samples[static_cast<size_t>(sample_idx++ % 8)]);
+    }
+    for (int r = 0; r < kBurst; ++r) {
+      serve::InferResult res = futs[static_cast<size_t>(r)].get();
+      if (res.status != serve::RequestStatus::kOk) {
+        state.SkipWithError(("request failed: " + std::string(to_string(res.status)) +
+                             (res.error.empty() ? "" : ": " + res.error))
+                                .c_str());
+        return;
+      }
+      latencies.push_back(res.latency_us);
+    }
+  }
+
+  state.counters["QPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBurst, benchmark::Counter::kIsRate);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto pct = [&](double p) {
+      size_t i = static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
+      return static_cast<double>(latencies[i]);
+    };
+    state.counters["p50_us"] = benchmark::Counter(pct(0.50));
+    state.counters["p99_us"] = benchmark::Counter(pct(0.99));
+  }
+}
+
+std::vector<ServeSpec> register_all() {
+  std::vector<ServeSpec> specs;
+  const auto add = [&](const char* arch, const char* variant, const char* kernel, int workers,
+                       size_t max_batch) {
+    ServeSpec spec;
+    spec.arch = arch;
+    spec.variant = variant;
+    spec.kernel = kernel;
+    spec.workers = workers;
+    spec.max_batch = max_batch;
+    spec.name = std::string("serve/") + arch + "/" + variant + "/" + kernel + "/w" +
+                std::to_string(workers) + "/b" + std::to_string(max_batch);
+    // Workers do the actual inference on their own threads, so wall
+    // clock (not the submitting thread's CPU time) is the meaningful
+    // denominator for the QPS rate counter.
+    benchmark::RegisterBenchmark(spec.name.c_str(), run_serve, spec)->UseRealTime();
+    specs.push_back(std::move(spec));
+  };
+  // Full grid on the resnet20 builder (the batched-vs-unbatched QPS
+  // comparison the acceptance gate reads), plus a vgg11 column.
+  for (const char* variant : {"dense", "pruned"}) {
+    for (const char* kernel : {"reference", "tiled"}) {
+      for (int workers : {1, 4}) {
+        for (size_t max_batch : {size_t{1}, size_t{8}}) {
+          add("resnet20", variant, kernel, workers, max_batch);
+        }
+      }
+    }
+  }
+  for (const char* variant : {"dense", "pruned"}) {
+    for (size_t max_batch : {size_t{1}, size_t{8}}) {
+      add("vgg11", variant, "tiled", 1, max_batch);
+    }
+  }
+  return specs;
+}
+
+bool write_serve_json(const std::string& path, const std::vector<ServeSpec>& specs,
+                      const std::vector<ServeRow>& rows) {
+  report::JsonValue results = report::JsonValue::array();
+  for (const ServeSpec& spec : specs) {
+    for (const ServeRow& row : rows) {
+      if (row.name != spec.name) continue;
+      report::JsonValue r = report::JsonValue::object();
+      r.set("name", report::JsonValue::string(spec.name));
+      r.set("arch", report::JsonValue::string(spec.arch));
+      r.set("variant", report::JsonValue::string(spec.variant));
+      r.set("kernel", report::JsonValue::string(spec.kernel));
+      r.set("workers", report::JsonValue::number(static_cast<int64_t>(spec.workers)));
+      r.set("max_batch", report::JsonValue::number(static_cast<int64_t>(spec.max_batch)));
+      r.set("qps", report::JsonValue::number(row.qps));
+      r.set("p50_us", report::JsonValue::number(row.p50_us));
+      r.set("p99_us", report::JsonValue::number(row.p99_us));
+      r.set("real_time_s", report::JsonValue::number(row.real_time_s));
+      r.set("iterations", report::JsonValue::number(row.iterations));
+      results.push_back(std::move(r));
+      break;
+    }
+  }
+  report::JsonValue doc = report::JsonValue::object();
+  doc.set("schema", report::JsonValue::string("capr-serve-bench-v1"));
+  doc.set("binary", report::JsonValue::string("bench_serve"));
+  doc.set("results", std::move(results));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+/// Console output plus capture of the serve counters.
+class ServeReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<ServeRow> rows;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      ServeRow row;
+      row.name = run.benchmark_name();
+      // UseRealTime() appends "/real_time" to the reported name.
+      const std::string suffix = "/real_time";
+      if (row.name.size() > suffix.size() &&
+          row.name.compare(row.name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        row.name.resize(row.name.size() - suffix.size());
+      }
+      row.real_time_s = run.GetAdjustedRealTime() * 1e-9;  // reported in ns
+      row.iterations = run.iterations;
+      const auto grab = [&](const char* key, double& dst) {
+        const auto it = run.counters.find(key);
+        if (it != run.counters.end()) dst = it->second.value;
+      };
+      grab("QPS", row.qps);
+      grab("p50_us", row.p50_us);
+      grab("p99_us", row.p99_us);
+      rows.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::KernelBenchArgs args;
+  const std::vector<ServeSpec> specs = register_all();
+  if (!benchx::init_benchmark(argc, argv, "serve/resnet20/dense/tiled/w1/b(1|8)", args)) {
+    return 1;
+  }
+  ServeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = args.out.empty() ? "BENCH_serve.json" : args.out;
+  return write_serve_json(path, specs, reporter.rows) ? 0 : 1;
+}

@@ -58,6 +58,34 @@ int64_t total_prunable_filters(const nn::Model& model) {
   return n;
 }
 
+void load_pruned_checkpoint(nn::Model& model, const std::map<std::string, Tensor>& dict) {
+  for (size_t u = 0; u < model.units.size(); ++u) {
+    const nn::Conv2d* conv = model.units[u].conv;
+    const auto it = dict.find(conv->name() + ".weight");
+    if (it == dict.end()) {
+      throw std::runtime_error("checkpoint lacks weights for prunable conv '" + conv->name() +
+                               "'");
+    }
+    const int64_t want = it->second.dim(0);
+    const int64_t have = conv->out_channels();
+    if (want > have) {
+      throw std::runtime_error("checkpoint has " + std::to_string(want) + " filters for '" +
+                               conv->name() + "', architecture has only " +
+                               std::to_string(have));
+    }
+    if (want < have) {
+      // WHICH original filters survived does not matter here: every
+      // surviving weight is about to be overwritten from the checkpoint,
+      // so shrinking from the tail yields the right shapes.
+      std::vector<int64_t> drop;
+      drop.reserve(static_cast<size_t>(have - want));
+      for (int64_t f = want; f < have; ++f) drop.push_back(f);
+      remove_filters(model, u, drop);
+    }
+  }
+  model.load_state_dict(dict);
+}
+
 PruneHistory::PruneHistory(const nn::Model& model) {
   kept_.reserve(model.units.size());
   for (const nn::PrunableUnit& u : model.units) {

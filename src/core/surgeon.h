@@ -11,6 +11,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/strategy.h"
@@ -47,6 +49,15 @@ int64_t apply_selection(nn::Model& model, const std::vector<UnitSelection>& sele
 
 /// Total number of filters across all prunable units.
 int64_t total_prunable_filters(const nn::Model& model);
+
+/// Loads a (possibly pruned) checkpoint into a freshly built model:
+/// shrinks every prunable unit until its filter count matches the conv
+/// weights in `dict` (the replay idiom of examples/resnet_pruning.cpp),
+/// then load_state_dict's the whole map. Throws std::runtime_error when
+/// the checkpoint names layers the architecture lacks or carries more
+/// filters than the architecture has. Shared by capr-analyze and the
+/// serving runtime's InferenceSession::from_checkpoint.
+void load_pruned_checkpoint(nn::Model& model, const std::map<std::string, Tensor>& dict);
 
 /// Replayable pruning history.
 ///

@@ -13,6 +13,14 @@ Tensor ReLU::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor ReLU::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  apply_inference_interventions(out);
+  return out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   apply_grad_instrumentation(grad_output);
   if (cached_output_.empty()) {

@@ -14,6 +14,7 @@ class ReLU final : public Layer {
   ReLU() = default;
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "relu"; }
   Shape output_shape(const Shape& in) const override { return in; }

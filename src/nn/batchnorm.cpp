@@ -101,6 +101,34 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor BatchNorm2d::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;  // elementwise normalisation needs no workspace
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": bad input " +
+                                to_string(input.shape()));
+  }
+  const int64_t n = input.dim(0), c = channels_, h = input.dim(2), w = input.dim(3);
+  const int64_t plane = h * w;
+  Tensor out({n, c, h, w});
+  // Mirrors the eval branch of forward() statement-for-statement (local
+  // xh stands in for the xhat_ cache) so logits stay bitwise identical.
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
+    const float mean = running_mean_[ch];
+    const float g = gamma_.value[ch], b = beta_.value[ch];
+    for (int64_t i = 0; i < n; ++i) {
+      const float* p = input.data() + (i * c + ch) * plane;
+      float* o = out.data() + (i * c + ch) * plane;
+      for (int64_t k = 0; k < plane; ++k) {
+        const float xh = (p[k] - mean) * inv;
+        o[k] = g * xh + b;
+      }
+    }
+  }
+  apply_inference_interventions(out);
+  return out;
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   apply_grad_instrumentation(grad_output);
   if (xhat_.empty()) {

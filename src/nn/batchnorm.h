@@ -15,6 +15,7 @@ class BatchNorm2d final : public Layer {
   explicit BatchNorm2d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "batchnorm2d"; }

@@ -76,7 +76,7 @@ Shape Conv2d::output_shape(const Shape& in) const {
   return {out_channels_, g.out_h(), g.out_w()};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool training) {
+Tensor Conv2d::compute_forward(const Tensor& input, ScratchArena& arena) const {
   if (input.rank() != 4 || input.dim(1) != in_channels_) {
     throw std::invalid_argument("Conv2d " + name_ + ": bad input " + to_string(input.shape()));
   }
@@ -91,12 +91,12 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
   const int workers = std::max(1, std::min<int>(num_threads(), static_cast<int>(n)));
   // Arena buffers (column matrix + GEMM packing) persist across calls, so
   // the steady-state batch loop allocates nothing.
-  scratch_.prepare(workers);
+  arena.prepare(workers);
   parallel_for(0, n, [&](int tid, int64_t i) {
-    float* col = scratch_.floats(tid, 0, krows * cols);
+    float* col = arena.floats(tid, 0, krows * cols);
     im2col(input.data() + i * in_channels_ * h * w, g, col);
     gemm_auto(wmat.data(), col, out.data() + i * out_channels_ * cols, out_channels_, krows,
-              cols, /*accumulate=*/false, &scratch_.gemm(tid));
+              cols, /*accumulate=*/false, &arena.gemm(tid));
     if (has_bias_) {
       float* obase = out.data() + i * out_channels_ * cols;
       for (int64_t c = 0; c < out_channels_; ++c) {
@@ -106,9 +106,20 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
       }
     }
   });
+  return out;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  Tensor out = compute_forward(input, scratch_);
   (void)training;  // backward must work after either mode (scoring passes)
   cached_input_ = input;
   apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor Conv2d::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  Tensor out = compute_forward(input, scratch.arena);
+  apply_inference_interventions(out);
   return out;
 }
 

@@ -19,6 +19,7 @@ class Conv2d final : public Layer {
          int64_t padding, bool bias);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "conv2d"; }
@@ -47,6 +48,10 @@ class Conv2d final : public Layer {
 
  private:
   ConvGeom geom_for(int64_t h, int64_t w) const;
+
+  /// The im2col+GEMM forward shared by the training and inference paths;
+  /// all temporaries come from `arena`, nothing else is written.
+  Tensor compute_forward(const Tensor& input, ScratchArena& arena) const;
 
   int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
   bool has_bias_;

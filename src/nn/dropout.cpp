@@ -28,6 +28,13 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor Dropout::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;  // inverted dropout is the identity at inference time
+  Tensor out = input;
+  apply_inference_interventions(out);
+  return out;
+}
+
 Tensor Dropout::backward(const Tensor& grad_output) {
   apply_grad_instrumentation(grad_output);
   if (!last_was_training_ || p_ == 0.0f) return grad_output;
@@ -55,6 +62,16 @@ Tensor LeakyReLU::forward(const Tensor& input, bool training) {
     out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
   }
   apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor LeakyReLU::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  }
+  apply_inference_interventions(out);
   return out;
 }
 
@@ -112,6 +129,34 @@ Tensor AvgPool2d::forward(const Tensor& input, bool training) {
     }
   }
   apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor AvgPool2d::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  if (input.rank() != 4) throw std::invalid_argument("AvgPool2d: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const Shape out_chw = output_shape({c, h, w});
+  const int64_t oh = out_chw[1], ow = out_chw[2];
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oidx) {
+          double acc = 0.0;
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            const float* row = plane + (y * stride_ + dy) * w + x * stride_;
+            for (int64_t dx = 0; dx < window_; ++dx) acc += row[dx];
+          }
+          out[oidx] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  apply_inference_interventions(out);
   return out;
 }
 

@@ -17,6 +17,7 @@ class Dropout final : public Layer {
   explicit Dropout(float p, uint64_t seed = 0xD20u);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "dropout"; }
   Shape output_shape(const Shape& in) const override { return in; }
@@ -36,6 +37,7 @@ class LeakyReLU final : public Layer {
   explicit LeakyReLU(float slope = 0.01f);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "leakyrelu"; }
   Shape output_shape(const Shape& in) const override { return in; }
@@ -52,6 +54,7 @@ class AvgPool2d final : public Layer {
   explicit AvgPool2d(int64_t window, int64_t stride = 0);  // stride 0 => window
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "avgpool2d"; }
   Shape output_shape(const Shape& in) const override;

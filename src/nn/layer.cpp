@@ -4,7 +4,14 @@
 
 namespace capr::nn {
 
-void Layer::apply_output_instrumentation(Tensor& out) {
+Tensor Layer::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)input;
+  (void)scratch;
+  throw std::logic_error("Layer " + name_ + " (" + kind() +
+                         "): no inference path; forward_inference not implemented");
+}
+
+void Layer::apply_inference_interventions(Tensor& out) const {
   if (!instrument_.channel_scale.empty()) {
     if (out.rank() < 2) throw std::invalid_argument("channel_scale needs a batched output");
     const int64_t n = out.dim(0);
@@ -33,6 +40,10 @@ void Layer::apply_output_instrumentation(Tensor& out) {
     }
     out[idx] = 0.0f;
   }
+}
+
+void Layer::apply_output_instrumentation(Tensor& out) {
+  apply_inference_interventions(out);
   if (instrument_.capture) instrument_.captured_output = out;
 }
 

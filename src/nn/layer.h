@@ -20,9 +20,19 @@
 #include <string>
 #include <vector>
 
+#include "tensor/scratch.h"
 #include "tensor/tensor.h"
 
 namespace capr::nn {
+
+/// Per-caller workspace for the stateless inference path
+/// (Layer::forward_inference). A layer shared by many threads keeps no
+/// mutable state of its own during inference; every temporary it needs
+/// (im2col column matrices, GEMM pack buffers) comes from here. Each
+/// concurrent caller — a serving worker, a benchmark thread — owns one.
+struct InferScratch {
+  ScratchArena arena;
+};
 
 /// A trainable parameter: value plus accumulated gradient.
 struct Param {
@@ -73,6 +83,15 @@ class Layer {
   /// Computes the layer output; caches state for backward when needed.
   virtual Tensor forward(const Tensor& input, bool training) = 0;
 
+  /// Inference-only forward: bitwise-identical to forward(x, false) but
+  /// touches NO mutable layer state (no backward caches, no capture), so
+  /// one layer instance may serve any number of concurrent callers, each
+  /// supplying its own scratch. Read-only interventions (channel_scale,
+  /// zero_flat_index) still apply; Instrument capture does not. The
+  /// default implementation throws: every layer shipped here overrides
+  /// it, and custom layers must opt in before they can be served.
+  virtual Tensor forward_inference(const Tensor& input, InferScratch& scratch) const;
+
   /// Propagates gradients; accumulates into parameter grads, returns
   /// gradient with respect to the layer input.
   virtual Tensor backward(const Tensor& grad_output) = 0;
@@ -98,6 +117,11 @@ class Layer {
   /// Applies capture / zero / channel-scale interventions to a computed
   /// output tensor (NCHW or NF). Call at the end of forward.
   void apply_output_instrumentation(Tensor& out);
+
+  /// The read-only subset of the above (channel_scale + zero_flat_index,
+  /// never capture): mutates only `out`, so it is safe from concurrent
+  /// forward_inference calls. Call at the end of forward_inference.
+  void apply_inference_interventions(Tensor& out) const;
 
   /// Captures grad_output if capture is on. Call at the start of backward.
   void apply_grad_instrumentation(const Tensor& grad_output);

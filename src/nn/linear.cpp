@@ -45,6 +45,23 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor Linear::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;  // matmul_nt manages its own pack buffers
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear " + name_ + ": bad input " + to_string(input.shape()));
+  }
+  Tensor out = matmul_nt(input, weight_.value);  // [N, out]
+  if (has_bias_) {
+    const int64_t n = out.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  apply_inference_interventions(out);
+  return out;
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   apply_grad_instrumentation(grad_output);
   if (cached_input_.empty()) {
@@ -116,6 +133,14 @@ Tensor Flatten::forward(const Tensor& input, bool training) {
   Tensor out = input.reshape({input.dim(0), -1});
   (void)training;
   apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor Flatten::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  if (input.rank() < 2) throw std::invalid_argument("Flatten: expected batched input");
+  Tensor out = input.reshape({input.dim(0), -1});
+  apply_inference_interventions(out);
   return out;
 }
 

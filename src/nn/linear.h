@@ -11,6 +11,7 @@ class Linear final : public Layer {
   Linear(int64_t in_features, int64_t out_features, bool bias = true);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "linear"; }
@@ -45,6 +46,7 @@ class Flatten final : public Layer {
   Flatten() = default;
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "flatten"; }
   Shape output_shape(const Shape& in) const override;

@@ -46,6 +46,14 @@ class Model {
   Model() = default;
 
   Tensor forward(const Tensor& x, bool training) { return net->forward(x, training); }
+
+  /// Stateless inference forward: bitwise-identical to forward(x, false)
+  /// but const and safe for concurrent callers (each brings its own
+  /// scratch). The serving runtime (src/serve) drives this path.
+  Tensor forward_inference(const Tensor& x, InferScratch& scratch) const {
+    return net->forward_inference(x, scratch);
+  }
+
   Tensor backward(const Tensor& grad) { return net->backward(grad); }
   std::vector<Param*> params() { return net->params(); }
 

@@ -59,6 +59,39 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
   return out;
 }
 
+Tensor MaxPool2d::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  if (input.rank() != 4) throw std::invalid_argument("MaxPool2d: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const Shape out_chw = output_shape({c, h, w});
+  const int64_t oh = out_chw[1], ow = out_chw[2];
+  Tensor out({n, c, oh, ow});
+  // Same window scan as forward(), minus the argmax bookkeeping that only
+  // backward needs.
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            const int64_t iy = y * stride_ + dy;
+            for (int64_t dx = 0; dx < window_; ++dx) {
+              const int64_t ix = x * stride_ + dx;
+              const float v = plane[iy * w + ix];
+              if (v > best) best = v;
+            }
+          }
+          out[oidx] = best;
+        }
+      }
+    }
+  }
+  apply_inference_interventions(out);
+  return out;
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   apply_grad_instrumentation(grad_output);
   if (cached_in_shape_.empty()) {
@@ -94,6 +127,23 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
   }
   (void)training;
   apply_output_instrumentation(out);
+  return out;
+}
+
+Tensor GlobalAvgPool::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  (void)scratch;
+  if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: expected NCHW input");
+  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* p = input.data() + (i * c + ch) * plane;
+      double acc = 0.0;
+      for (int64_t k = 0; k < plane; ++k) acc += p[k];
+      out[i * c + ch] = static_cast<float>(acc / plane);
+    }
+  }
+  apply_inference_interventions(out);
   return out;
 }
 

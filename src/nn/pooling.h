@@ -14,6 +14,7 @@ class MaxPool2d final : public Layer {
   explicit MaxPool2d(int64_t window, int64_t stride = 0);  // stride 0 => window
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "maxpool2d"; }
   Shape output_shape(const Shape& in) const override;
@@ -30,6 +31,7 @@ class GlobalAvgPool final : public Layer {
   GlobalAvgPool() = default;
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "gavgpool"; }
   Shape output_shape(const Shape& in) const override;

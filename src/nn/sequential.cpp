@@ -13,6 +13,12 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   return x;
 }
 
+Tensor Sequential::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  Tensor x = input;
+  for (const auto& child : children_) x = child->forward_inference(x, scratch);
+  return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
@@ -71,6 +77,21 @@ Tensor BasicBlock::forward(const Tensor& input, bool training) {
   }
   add_inplace(main, shortcut);
   return relu_out_->forward(main, training);
+}
+
+Tensor BasicBlock::forward_inference(const Tensor& input, InferScratch& scratch) const {
+  Tensor main = conv1_->forward_inference(input, scratch);
+  main = bn1_->forward_inference(main, scratch);
+  main = relu1_->forward_inference(main, scratch);
+  main = conv2_->forward_inference(main, scratch);
+  main = bn2_->forward_inference(main, scratch);
+  Tensor shortcut = input;
+  if (proj_conv_) {
+    shortcut = proj_conv_->forward_inference(input, scratch);
+    shortcut = proj_bn_->forward_inference(shortcut, scratch);
+  }
+  add_inplace(main, shortcut);
+  return relu_out_->forward_inference(main, scratch);
 }
 
 Tensor BasicBlock::backward(const Tensor& grad_output) {

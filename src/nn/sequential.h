@@ -26,6 +26,7 @@ class Sequential : public Layer {
   }
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "sequential"; }
@@ -54,6 +55,7 @@ class BasicBlock final : public Layer {
   BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_inference(const Tensor& input, InferScratch& scratch) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "basicblock"; }

@@ -1,0 +1,144 @@
+// Bounded MPSC request queue for the serving runtime.
+//
+// Many client threads push; one worker (or a small pool, each popping
+// under the same mutex) drains. The bound is the backpressure mechanism:
+// try_push fails fast when the queue is full so callers can reject the
+// request instead of letting latency grow without limit.
+//
+// close() wakes every waiter and makes further pushes fail; pops keep
+// succeeding until the queue is drained, which is what graceful shutdown
+// needs (finish accepted work, accept nothing new).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace capr::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. Returns false when the queue is full or closed;
+  /// `item` is moved from ONLY on success, so the caller keeps it (and
+  /// anything it owns, like a promise) on failure.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push; waits for space. Returns false when the queue is
+  /// closed (before or while waiting); `item` is moved from only on
+  /// success.
+  bool push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt only when the queue is closed AND
+  /// drained — accepted items are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Pops up to `max - out.size()` additional items without blocking,
+  /// appending to `out`. The micro-batcher calls this right after a
+  /// blocking pop() to coalesce whatever has already queued up.
+  void drain_into(std::vector<T>& out, size_t max) {
+    bool took = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (out.size() < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        took = true;
+      }
+    }
+    if (took) not_full_.notify_all();
+  }
+
+  /// Like drain_into but first waits (up to `deadline`) for at least one
+  /// more item — the adaptive part of micro-batching: a worker holding a
+  /// partial batch lingers briefly for stragglers instead of launching an
+  /// underfull batch immediately.
+  template <typename Clock, typename Duration>
+  void drain_until(std::vector<T>& out, size_t max,
+                   const std::chrono::time_point<Clock, Duration>& deadline) {
+    bool took = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (out.size() < max) {
+        if (items_.empty()) {
+          if (closed_) break;
+          if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+          continue;
+        }
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        took = true;
+      }
+    }
+    if (took) not_full_.notify_all();
+  }
+
+  /// Makes every future push fail and wakes all waiters. Items already
+  /// queued remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace capr::serve

@@ -1,0 +1,229 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/parallel.h"
+
+namespace capr::serve {
+
+namespace {
+
+int64_t us_between(InferenceServer::Clock::time_point from,
+                   InferenceServer::Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+}
+
+InferResult terminal_result(RequestStatus status, int64_t latency_us) {
+  InferResult res;
+  res.status = status;
+  res.latency_us = latency_us;
+  return res;
+}
+
+std::future<InferResult> ready_future(RequestStatus status) {
+  std::promise<InferResult> p;
+  p.set_value(terminal_result(status, 0));
+  return p.get_future();
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kTimeout:
+      return "timeout";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+    case RequestStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(std::shared_ptr<const InferenceSession> session,
+                                 ServerConfig cfg)
+    : session_(std::move(session)), cfg_(cfg), queue_(cfg.queue_capacity) {
+  if (!session_) throw std::invalid_argument("InferenceServer: null session");
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  int workers = cfg_.workers > 0 ? cfg_.workers : num_threads();
+  if (workers < 1) workers = 1;
+  cfg_.workers = workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::validate_sample(const Tensor& sample) const {
+  const Shape& want = session_->input_shape();
+  if (sample.shape() != want) {
+    throw std::invalid_argument("InferenceServer: sample shape " +
+                                capr::to_string(sample.shape()) +
+                                " does not match session input " + capr::to_string(want));
+  }
+}
+
+InferenceServer::Request InferenceServer::make_request(Tensor sample,
+                                                       Clock::time_point deadline) {
+  Request req;
+  req.sample = std::move(sample);
+  req.enqueued = Clock::now();
+  req.deadline = deadline;
+  return req;
+}
+
+std::future<InferResult> InferenceServer::submit(Tensor sample) {
+  Clock::time_point deadline = Clock::time_point::max();
+  if (cfg_.default_timeout_us > 0) {
+    deadline = Clock::now() + std::chrono::microseconds(cfg_.default_timeout_us);
+  }
+  return submit(std::move(sample), deadline);
+}
+
+std::future<InferResult> InferenceServer::submit(Tensor sample, Clock::time_point deadline) {
+  validate_sample(sample);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ready_future(RequestStatus::kShutdown);
+  }
+  Request req = make_request(std::move(sample), deadline);
+  std::future<InferResult> fut = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    // Closed while we were waiting for space; req still owns the promise.
+    return ready_future(RequestStatus::kShutdown);
+  }
+  n_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+std::optional<std::future<InferResult>> InferenceServer::try_submit(Tensor sample) {
+  validate_sample(sample);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return ready_future(RequestStatus::kShutdown);
+  }
+  Clock::time_point deadline = Clock::time_point::max();
+  if (cfg_.default_timeout_us > 0) {
+    deadline = Clock::now() + std::chrono::microseconds(cfg_.default_timeout_us);
+  }
+  Request req = make_request(std::move(sample), deadline);
+  std::future<InferResult> fut = req.promise.get_future();
+  if (!queue_.try_push(std::move(req))) {
+    if (queue_.closed()) return ready_future(RequestStatus::kShutdown);
+    n_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  n_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+void InferenceServer::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.submitted = n_submitted_.load(std::memory_order_relaxed);
+  s.rejected = n_rejected_.load(std::memory_order_relaxed);
+  s.completed = n_completed_.load(std::memory_order_relaxed);
+  s.timed_out = n_timed_out_.load(std::memory_order_relaxed);
+  s.errored = n_errored_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.batched_samples = n_batched_samples_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InferenceServer::worker_loop() {
+  // Parallelism lives ACROSS requests here: force every tensor op this
+  // worker runs to execute inline so N workers never oversubscribe the
+  // thread pool (and results stay on the deterministic serial path).
+  SerialRegionGuard serial;
+  nn::InferScratch scratch;
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    std::optional<Request> first = queue_.pop();
+    if (!first) return;  // closed and fully drained
+    batch.push_back(std::move(*first));
+    if (cfg_.max_batch > 1 && batch.size() < cfg_.max_batch) {
+      queue_.drain_into(batch, cfg_.max_batch);
+      if (batch.size() < cfg_.max_batch && cfg_.max_delay_us > 0) {
+        queue_.drain_until(batch, cfg_.max_batch,
+                           Clock::now() + std::chrono::microseconds(cfg_.max_delay_us));
+      }
+    }
+    process_batch(batch, scratch);
+  }
+}
+
+void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratch& scratch) {
+  const Clock::time_point picked = Clock::now();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.deadline < picked) {
+      // Count BEFORE resolving the future: a client that has observed its
+      // result must also see it reflected in stats().
+      n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_value(
+          terminal_result(RequestStatus::kTimeout, us_between(r.enqueued, picked)));
+    } else {
+      live.push_back(&r);
+    }
+  }
+  if (live.empty()) return;
+
+  const Shape& in = session_->input_shape();
+  const int64_t n = static_cast<int64_t>(live.size());
+  const int64_t per_sample = in[0] * in[1] * in[2];
+  Tensor stacked({n, in[0], in[1], in[2]});
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& s = live[static_cast<size_t>(i)]->sample;
+    std::copy(s.data(), s.data() + per_sample, stacked.data() + i * per_sample);
+  }
+
+  Tensor logits;
+  try {
+    logits = session_->run(stacked, scratch);
+  } catch (const std::exception& e) {
+    const Clock::time_point failed = Clock::now();
+    n_errored_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);
+    for (Request* r : live) {
+      InferResult res;
+      res.status = RequestStatus::kError;
+      res.error = e.what();
+      res.latency_us = us_between(r->enqueued, failed);
+      r->promise.set_value(std::move(res));
+    }
+    return;
+  }
+
+  const int64_t classes = logits.numel() / n;
+  const Clock::time_point done = Clock::now();
+  n_completed_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  n_batched_samples_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);
+  for (int64_t i = 0; i < n; ++i) {
+    Request* r = live[static_cast<size_t>(i)];
+    InferResult res;
+    res.status = RequestStatus::kOk;
+    res.output = Tensor({classes});
+    std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
+              res.output.data());
+    res.latency_us = us_between(r->enqueued, done);
+    r->promise.set_value(std::move(res));
+  }
+}
+
+}  // namespace capr::serve

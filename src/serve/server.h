@@ -1,0 +1,142 @@
+// Concurrent inference server: worker pool + adaptive micro-batching.
+//
+// Clients submit single samples and get a std::future for the result.
+// Workers pull from a bounded MPSC queue; each pop coalesces whatever
+// else is already queued (up to max_batch) and then lingers up to
+// max_delay_us for stragglers before running the batch — large batches
+// amortise per-call overhead under load, while a lone request never
+// waits longer than the linger window.
+//
+// Because the tiled GEMM accumulates every output element in a fixed
+// k-ascending order with zero-padded partial tiles, a sample's logits do
+// not depend on which other samples share its micro-batch: serving
+// results are bitwise-identical to a batch-1 Model::forward(x, false)
+// regardless of batching, worker count, or arrival order.
+//
+// Backpressure: the queue is bounded; try_submit fails fast when it is
+// full. Deadlines: a request carries an optional absolute deadline and is
+// rejected with kTimeout if a worker picks it up too late. Shutdown
+// closes the queue, drains accepted work, then joins the workers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.h"
+#include "serve/session.h"
+
+namespace capr::serve {
+
+enum class RequestStatus {
+  kOk,        // output holds the logits
+  kTimeout,   // deadline expired before a worker ran the sample
+  kRejected,  // bounded queue was full (backpressure)
+  kShutdown,  // submitted after shutdown began
+  kError,     // inference threw; see error
+};
+
+const char* to_string(RequestStatus status);
+
+struct InferResult {
+  RequestStatus status = RequestStatus::kError;
+  Tensor output;            // [num_classes] logits when status == kOk
+  std::string error;        // diagnostic when status == kError
+  int64_t latency_us = 0;   // submit -> completion (all statuses)
+};
+
+struct ServerConfig {
+  /// Worker threads; 0 means use the global num_threads() setting.
+  int workers = 0;
+  /// Bound of the request queue — the backpressure limit.
+  size_t queue_capacity = 64;
+  /// Largest micro-batch a worker will coalesce. 1 disables batching.
+  size_t max_batch = 8;
+  /// How long a worker holding a partial batch lingers for stragglers.
+  int64_t max_delay_us = 200;
+  /// Deadline applied by submit() when the caller gives none. 0 = none.
+  int64_t default_timeout_us = 0;
+};
+
+/// Monotonic counters, readable while the server runs.
+struct ServerStats {
+  uint64_t submitted = 0;   // accepted into the queue
+  uint64_t rejected = 0;    // try_submit refused (queue full)
+  uint64_t completed = 0;   // finished with kOk
+  uint64_t timed_out = 0;   // rejected at pop time (deadline expired)
+  uint64_t errored = 0;     // inference threw
+  uint64_t batches = 0;     // micro-batches executed
+  uint64_t batched_samples = 0;  // samples across those batches
+};
+
+class InferenceServer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The session is shared: several servers (or direct callers) may hold
+  /// it at once. Workers start immediately.
+  InferenceServer(std::shared_ptr<const InferenceSession> session, ServerConfig cfg);
+
+  /// Calls shutdown().
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Blocking submit of one CHW sample (shape must equal the session's
+  /// input_shape). Waits for queue space. The future resolves with
+  /// kShutdown if the server stops first. Applies default_timeout_us.
+  std::future<InferResult> submit(Tensor sample);
+
+  /// Blocking submit with an explicit absolute deadline. A deadline
+  /// already in the past is accepted and rejected with kTimeout by the
+  /// worker — tests use this for deterministic timeout coverage.
+  std::future<InferResult> submit(Tensor sample, Clock::time_point deadline);
+
+  /// Non-blocking submit: nullopt when the queue is full (backpressure)
+  /// — the sample was NOT accepted and the caller should retry or shed
+  /// load. After shutdown it returns a future resolving to kShutdown.
+  std::optional<std::future<InferResult>> try_submit(Tensor sample);
+
+  /// Closes the queue (new submits get kShutdown), drains accepted
+  /// requests, joins workers. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    Tensor sample;
+    std::promise<InferResult> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() when none
+  };
+
+  Request make_request(Tensor sample, Clock::time_point deadline);
+  void validate_sample(const Tensor& sample) const;
+  void worker_loop();
+  void process_batch(std::vector<Request>& batch, nn::InferScratch& scratch);
+
+  std::shared_ptr<const InferenceSession> session_;
+  ServerConfig cfg_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<uint64_t> n_submitted_{0};
+  std::atomic<uint64_t> n_rejected_{0};
+  std::atomic<uint64_t> n_completed_{0};
+  std::atomic<uint64_t> n_timed_out_{0};
+  std::atomic<uint64_t> n_errored_{0};
+  std::atomic<uint64_t> n_batches_{0};
+  std::atomic<uint64_t> n_batched_samples_{0};
+};
+
+}  // namespace capr::serve

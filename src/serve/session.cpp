@@ -1,0 +1,31 @@
+#include "serve/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/surgeon.h"
+#include "tensor/serialize.h"
+
+namespace capr::serve {
+
+InferenceSession::InferenceSession(nn::Model model) : model_(std::move(model)) {
+  if (!model_.net) throw std::invalid_argument("InferenceSession: model has no network");
+}
+
+InferenceSession InferenceSession::from_checkpoint(const std::string& arch,
+                                                   const models::BuildConfig& cfg,
+                                                   const std::string& path) {
+  nn::Model model = models::make_model(arch, cfg);
+  core::load_pruned_checkpoint(model, load_tensor_map(path));
+  return InferenceSession(std::move(model));
+}
+
+Tensor InferenceSession::run(const Tensor& batch, nn::InferScratch& scratch) const {
+  if (batch.rank() != 4) {
+    throw std::invalid_argument("InferenceSession::run: expected NCHW batch, got rank " +
+                                std::to_string(batch.rank()));
+  }
+  return model_.forward_inference(batch, scratch);
+}
+
+}  // namespace capr::serve

@@ -1,0 +1,51 @@
+// Compiled, immutable inference session.
+//
+// An InferenceSession freezes a trained (possibly pruned) Model into a
+// shared read-only artifact: after construction nothing inside mutates,
+// so ONE session serves arbitrarily many threads concurrently — each
+// caller brings its own InferScratch workspace. Outputs are
+// bitwise-identical to Model::forward(x, false) by construction (the
+// inference path reuses the training path's compute kernels; see
+// nn/layer.h).
+#pragma once
+
+#include <string>
+
+#include "models/builders.h"
+#include "nn/model.h"
+
+namespace capr::serve {
+
+class InferenceSession {
+ public:
+  /// Takes ownership of a fully initialised model. The model must not be
+  /// mutated afterwards (the session is the sole owner).
+  explicit InferenceSession(nn::Model model);
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+  InferenceSession(InferenceSession&&) = default;
+  InferenceSession& operator=(InferenceSession&&) = default;
+
+  /// Builds `arch` with `cfg`, then loads the checkpoint at `path` via
+  /// core::load_pruned_checkpoint — pruned checkpoints with fewer filters
+  /// than the fresh architecture replay cleanly. Throws on I/O errors,
+  /// unknown arch, or checkpoint/architecture mismatch.
+  static InferenceSession from_checkpoint(const std::string& arch,
+                                          const models::BuildConfig& cfg,
+                                          const std::string& path);
+
+  /// Runs one NCHW batch through the network. Thread-safe: any number of
+  /// threads may call run() on the same session as long as each passes
+  /// its own scratch. Bitwise-identical to Model::forward(batch, false).
+  Tensor run(const Tensor& batch, nn::InferScratch& scratch) const;
+
+  const std::string& arch() const { return model_.arch; }
+  const Shape& input_shape() const { return model_.input_shape; }
+  int64_t num_classes() const { return model_.num_classes; }
+
+ private:
+  nn::Model model_;
+};
+
+}  // namespace capr::serve

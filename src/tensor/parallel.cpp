@@ -38,6 +38,10 @@ int num_threads() {
 
 bool in_parallel_region() { return t_in_worker; }
 
+SerialRegionGuard::SerialRegionGuard() : saved_(t_in_worker) { t_in_worker = true; }
+
+SerialRegionGuard::~SerialRegionGuard() { t_in_worker = saved_; }
+
 void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int64_t)>& fn) {
   const int64_t count = end - begin;
   if (count <= 0) return;

@@ -34,4 +34,22 @@ void parallel_for(int64_t begin, int64_t end,
 /// variant instead of spawning threads from threads.
 bool in_parallel_region();
 
+/// Forces every parallel_for reached from the calling thread to run
+/// inline while alive (same mechanism as the nested-region guard, so it
+/// also covers the tiled GEMM's internal threading). Serving workers
+/// hold one each: with N workers each running its own requests, the
+/// parallelism is across requests, and letting every worker also fan
+/// out over the batch would oversubscribe the machine. Results are
+/// unchanged — serial execution is the determinism baseline.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
 }  // namespace capr

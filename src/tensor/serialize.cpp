@@ -51,8 +51,19 @@ Tensor read_tensor(std::istream& is) {
   if (rank > 8) throw std::runtime_error("checkpoint: implausible tensor rank");
   // Rank 0 encodes the default (empty) tensor, not a scalar.
   if (rank == 0) return Tensor();
+  // Validate extents BEFORE allocating: a corrupt or hostile header must
+  // fail with a diagnostic, not an overflowed numel or a giant bad_alloc.
+  constexpr int64_t kMaxElements = int64_t{1} << 32;
   Shape shape(rank);
-  for (auto& e : shape) e = read_pod<int64_t>(is);
+  int64_t numel = 1;
+  for (auto& e : shape) {
+    e = read_pod<int64_t>(is);
+    if (e <= 0) throw std::runtime_error("checkpoint: non-positive tensor extent");
+    if (e > kMaxElements / numel) {
+      throw std::runtime_error("checkpoint: implausible tensor size");
+    }
+    numel *= e;
+  }
   Tensor t(shape);
   is.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel()) * static_cast<std::streamsize>(sizeof(float)));

@@ -69,5 +69,44 @@ TEST(SerializeTest, TruncatedPayloadThrows) {
   EXPECT_THROW(load_tensor_map(path), std::runtime_error);
 }
 
+TEST(SerializeTest, ImplausibleRankThrows) {
+  std::stringstream ss;
+  const uint32_t rank = 9;  // read_tensor caps rank at 8
+  ss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, NonPositiveExtentThrows) {
+  std::stringstream ss;
+  const uint32_t rank = 2;
+  const int64_t extents[2] = {3, -4};
+  ss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  ss.write(reinterpret_cast<const char*>(extents), sizeof(extents));
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, OverflowingExtentProductThrows) {
+  // Two extents whose product overflows int64 must be rejected before
+  // any allocation happens, not wrap around to a small positive numel.
+  std::stringstream ss;
+  const uint32_t rank = 2;
+  const int64_t extents[2] = {int64_t{1} << 32, int64_t{1} << 32};
+  ss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  ss.write(reinterpret_cast<const char*>(extents), sizeof(extents));
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, UnsupportedVersionThrows) {
+  const std::string path = ::testing::TempDir() + "capr_badver.ckpt";
+  {
+    std::ofstream os(path, std::ios::binary);
+    const uint32_t magic = 0x52504143;  // "CAPR"
+    const uint32_t version = 999;
+    os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  EXPECT_THROW(load_tensor_map(path), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace capr

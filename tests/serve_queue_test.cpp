@@ -1,0 +1,149 @@
+// BoundedQueue semantics: FIFO order, backpressure (try_push on a full
+// queue), close/drain behaviour, micro-batch coalescing via drain_into /
+// drain_until, and a multi-producer stress run. The stress tests double
+// as the TSan targets for the serving queue (see CMakePresets.json).
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace capr::serve {
+namespace {
+
+TEST(BoundedQueueTest, PopsInFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  // Popping frees a slot.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueueTest, FailedTryPushDoesNotConsumeItem) {
+  BoundedQueue<std::vector<int>> q(1);
+  EXPECT_TRUE(q.try_push({1}));
+  std::vector<int> item{2, 3, 4};
+  EXPECT_FALSE(q.try_push(std::move(item)));
+  // Moved-from only on success: the caller still owns the payload.
+  EXPECT_EQ(item.size(), 3u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));
+  // Accepted items are still delivered after close...
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  // ...and only then does pop() report exhaustion.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(4);
+  std::thread popper([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  popper.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread pusher([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  pusher.join();
+}
+
+TEST(BoundedQueueTest, DrainIntoCoalescesWithoutBlocking) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  std::vector<int> batch;
+  batch.push_back(q.pop().value());
+  q.drain_into(batch, 4);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 2u);
+  // An empty queue leaves the batch untouched instead of waiting.
+  q.drain_into(batch, 4);
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(BoundedQueueTest, DrainUntilReturnsAtDeadlineWhenEmpty) {
+  BoundedQueue<int> q(4);
+  std::vector<int> batch{42};
+  const auto start = std::chrono::steady_clock::now();
+  q.drain_until(batch, 4, start + std::chrono::milliseconds(20));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(19));
+}
+
+TEST(BoundedQueueTest, DrainUntilPicksUpLateArrivals) {
+  BoundedQueue<int> q(4);
+  std::vector<int> batch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.push(7);
+  });
+  q.drain_until(batch, 1, std::chrono::steady_clock::now() + std::chrono::seconds(5));
+  producer.join();
+  EXPECT_EQ(batch, std::vector<int>{7});
+}
+
+TEST(BoundedQueueTest, MultiProducerSingleConsumerDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(8);  // small bound so producers actually block
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    for (int got = 0; got < kProducers * kPerProducer;) {
+      batch.clear();
+      const auto first = q.pop();
+      ASSERT_TRUE(first.has_value());
+      batch.push_back(*first);
+      q.drain_into(batch, 16);
+      for (int v : batch) ++seen[static_cast<size_t>(v)];
+      got += static_cast<int>(batch.size());
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  for (int v : seen) EXPECT_EQ(v, 1);  // each item exactly once
+}
+
+}  // namespace
+}  // namespace capr::serve

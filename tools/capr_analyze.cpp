@@ -131,34 +131,6 @@ std::vector<capr::core::UnitSelection> read_plan(const std::string& path) {
   return plan;
 }
 
-/// Shrinks `model` until each unit's filter count matches the conv
-/// weights in `dict`, then loads it — the replay idiom used for pruned
-/// checkpoints (see examples/resnet_pruning.cpp).
-void load_pruned_checkpoint(capr::nn::Model& model,
-                            const std::map<std::string, capr::Tensor>& dict) {
-  for (size_t u = 0; u < model.units.size(); ++u) {
-    const capr::nn::Conv2d* conv = model.units[u].conv;
-    const auto it = dict.find(conv->name() + ".weight");
-    if (it == dict.end()) {
-      throw std::runtime_error("checkpoint lacks weights for prunable conv '" +
-                               conv->name() + "'");
-    }
-    const int64_t want = it->second.dim(0);
-    const int64_t have = conv->out_channels();
-    if (want > have) {
-      throw std::runtime_error("checkpoint has " + std::to_string(want) + " filters for '" +
-                               conv->name() + "', architecture has only " +
-                               std::to_string(have));
-    }
-    if (want < have) {
-      std::vector<int64_t> drop;
-      for (int64_t f = want; f < have; ++f) drop.push_back(f);
-      capr::core::remove_filters(model, u, drop);
-    }
-  }
-  model.load_state_dict(dict);
-}
-
 void print_trace(const capr::analysis::ShapeTrace& trace) {
   std::cout << "shape propagation (" << trace.steps.size() << " certified edges):\n";
   for (const capr::analysis::ShapeStep& s : trace.steps) {
@@ -183,7 +155,7 @@ int main(int argc, char** argv) {
   try {
     capr::nn::Model model = capr::models::make_model(opts.arch, opts.build);
     if (!opts.checkpoint.empty()) {
-      load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
+      capr::core::load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
     }
 
     if (opts.trace) print_trace(capr::analysis::infer_shapes(model));

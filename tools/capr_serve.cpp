@@ -1,0 +1,213 @@
+// capr-serve: load generator for the concurrent inference server.
+//
+//   capr-serve --arch resnet20                       # random weights
+//   capr-serve --arch resnet20 --checkpoint m.ckpt   # trained/pruned model
+//   capr-serve --arch vgg11 --clients 8 --requests 512 --max-batch 8
+//
+// Spawns N client threads that submit synthetic samples against one
+// shared InferenceServer, then prints throughput, latency percentiles
+// and the server's own counters. Use it to explore the batching and
+// backpressure knobs interactively; bench_serve is the reproducible
+// (google-benchmark) version of the same measurement.
+// Exit status: 0 on success, 1 if any request failed, 2 on usage errors.
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/builders.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "tensor/gemm_tiled.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace {
+
+struct Options {
+  std::string arch;
+  std::string checkpoint;
+  std::string kernel = "tiled";
+  capr::models::BuildConfig build{};
+  capr::serve::ServerConfig server{};
+  int clients = 4;
+  int requests = 256;  // total, split across clients
+};
+
+void usage(std::ostream& os) {
+  os << "usage: capr-serve --arch <name> [options]\n"
+        "  --arch <name>         architecture (";
+  for (const std::string& a : capr::models::available_archs()) os << a << ' ';
+  os << ")\n"
+        "  --checkpoint <file>   serve a saved (possibly pruned) checkpoint\n"
+        "  --classes <n>         number of classes (default 10)\n"
+        "  --input-size <n>      input H=W (default 16)\n"
+        "  --width-mult <f>      channel width multiplier (default 0.25)\n"
+        "  --kernel <name>       GEMM kernel: tiled (default) or reference\n"
+        "  --clients <n>         client threads (default 4)\n"
+        "  --requests <n>        total requests across clients (default 256)\n"
+        "  --workers <n>         server worker threads (default: num_threads())\n"
+        "  --queue-cap <n>       bounded queue capacity (default 64)\n"
+        "  --max-batch <n>       micro-batch coalescing limit (default 8)\n"
+        "  --max-delay-us <n>    straggler linger per batch (default 200)\n"
+        "  --timeout-us <n>      per-request deadline, 0 = none (default 0)\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      opts.arch = value();
+    } else if (arg == "--checkpoint") {
+      opts.checkpoint = value();
+    } else if (arg == "--classes") {
+      opts.build.num_classes = std::stoll(value());
+    } else if (arg == "--input-size") {
+      opts.build.input_size = std::stoll(value());
+    } else if (arg == "--width-mult") {
+      opts.build.width_mult = std::stof(value());
+    } else if (arg == "--kernel") {
+      opts.kernel = value();
+      if (opts.kernel != "tiled" && opts.kernel != "reference") {
+        throw std::runtime_error("unknown kernel '" + opts.kernel + "'");
+      }
+    } else if (arg == "--clients") {
+      opts.clients = std::stoi(value());
+    } else if (arg == "--requests") {
+      opts.requests = std::stoi(value());
+    } else if (arg == "--workers") {
+      opts.server.workers = std::stoi(value());
+    } else if (arg == "--queue-cap") {
+      opts.server.queue_capacity = static_cast<size_t>(std::stoull(value()));
+    } else if (arg == "--max-batch") {
+      opts.server.max_batch = static_cast<size_t>(std::stoull(value()));
+    } else if (arg == "--max-delay-us") {
+      opts.server.max_delay_us = std::stoll(value());
+    } else if (arg == "--timeout-us") {
+      opts.server.default_timeout_us = std::stoll(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return false;
+    } else {
+      throw std::runtime_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (opts.arch.empty()) throw std::runtime_error("--arch is required");
+  if (opts.clients < 1) throw std::runtime_error("--clients must be >= 1");
+  if (opts.requests < 1) throw std::runtime_error("--requests must be >= 1");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    if (!parse_args(argc, argv, opts)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-serve: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    using capr::serve::InferResult;
+    using capr::serve::RequestStatus;
+    const capr::GemmKernelScope scope(opts.kernel == "tiled" ? capr::GemmKernel::kTiled
+                                                             : capr::GemmKernel::kReference);
+    std::shared_ptr<const capr::serve::InferenceSession> session;
+    if (!opts.checkpoint.empty()) {
+      session = std::make_shared<const capr::serve::InferenceSession>(
+          capr::serve::InferenceSession::from_checkpoint(opts.arch, opts.build,
+                                                         opts.checkpoint));
+    } else {
+      std::cout << "no --checkpoint given; serving randomly initialised weights\n";
+      session = std::make_shared<const capr::serve::InferenceSession>(
+          capr::models::make_model(opts.arch, opts.build));
+    }
+
+    capr::serve::InferenceServer server(session, opts.server);
+    const capr::Shape& in = session->input_shape();
+    std::cout << "serving " << opts.arch << " " << capr::to_string(in) << " -> "
+              << session->num_classes() << " classes, " << server.config().workers
+              << " workers, max_batch " << server.config().max_batch << ", kernel "
+              << opts.kernel << "\n";
+
+    // Each client owns a pool of synthetic samples and submits its share
+    // of the total, blocking on queue space (so nothing is shed here —
+    // use --timeout-us to exercise deadline rejection instead).
+    const int per_client = (opts.requests + opts.clients - 1) / opts.clients;
+    std::vector<std::vector<int64_t>> latencies(static_cast<size_t>(opts.clients));
+    std::vector<std::vector<InferResult>> failures(static_cast<size_t>(opts.clients));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < opts.clients; ++c) {
+      clients.emplace_back([&, c] {
+        capr::Rng rng(1234 + static_cast<uint64_t>(c));
+        std::vector<capr::Tensor> samples;
+        for (int i = 0; i < 4; ++i) {
+          capr::Tensor s({in[0], in[1], in[2]});
+          rng.fill_normal(s, 0.0f, 1.0f);
+          samples.push_back(std::move(s));
+        }
+        std::vector<std::future<InferResult>> futs;
+        for (int r = 0; r < per_client; ++r) {
+          futs.push_back(server.submit(samples[static_cast<size_t>(r % 4)]));
+        }
+        for (auto& fut : futs) {
+          InferResult res = fut.get();
+          if (res.status == RequestStatus::kOk) {
+            latencies[static_cast<size_t>(c)].push_back(res.latency_us);
+          } else {
+            failures[static_cast<size_t>(c)].push_back(std::move(res));
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    server.shutdown();
+
+    std::vector<int64_t> all;
+    size_t failed = 0;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    for (const auto& v : failures) failed += v.size();
+    std::sort(all.begin(), all.end());
+    const auto pct = [&](double p) {
+      return all.empty() ? 0
+                         : all[static_cast<size_t>(p * static_cast<double>(all.size() - 1))];
+    };
+
+    const capr::serve::ServerStats stats = server.stats();
+    std::cout << "completed " << all.size() << "/" << opts.requests << " requests in "
+              << elapsed_s << " s (" << static_cast<double>(all.size()) / elapsed_s
+              << " QPS)\n"
+              << "latency p50 " << pct(0.50) << " us, p90 " << pct(0.90) << " us, p99 "
+              << pct(0.99) << " us\n"
+              << "server: " << stats.batches << " batches, "
+              << (stats.batches == 0 ? 0.0
+                                     : static_cast<double>(stats.batched_samples) /
+                                           static_cast<double>(stats.batches))
+              << " samples/batch avg, " << stats.timed_out << " timed out, " << stats.rejected
+              << " rejected, " << stats.errored << " errored\n";
+    for (const auto& v : failures) {
+      for (const InferResult& res : v) {
+        std::cerr << "capr-serve: request failed: " << to_string(res.status)
+                  << (res.error.empty() ? "" : ": " + res.error) << "\n";
+      }
+    }
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-serve: " << e.what() << "\n";
+    return 1;
+  }
+}

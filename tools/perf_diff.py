@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_kernels.json files (schema capr-kernel-bench-v1).
+"""Compare two benchmark JSON files produced by the bench binaries.
 
 Usage:
     python3 tools/perf_diff.py BASELINE CURRENT [--threshold PCT] [--strict]
 
-Matches results by benchmark name and reports the GFLOP/s delta for each.
+Supported schemas (both files must carry the same one):
+    capr-kernel-bench-v1   bench_gemm / bench_conv, metric: gflops
+    capr-serve-bench-v1    bench_serve, metric: qps
+
+Matches results by benchmark name and reports the metric delta for each.
 A drop larger than --threshold percent (default 20) is flagged as a
 regression. By default regressions only WARN (exit 0) because CI runners
 have noisy clocks; --strict makes them fail the step (exit 1).
@@ -17,13 +21,20 @@ import argparse
 import json
 import sys
 
+# schema -> (higher-is-better metric key, unit suffix for the table)
+SCHEMAS = {
+    "capr-kernel-bench-v1": ("gflops", "G"),
+    "capr-serve-bench-v1": ("qps", "/s"),
+}
 
-def load_results(path):
+
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "capr-kernel-bench-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {r["name"]: r for r in doc.get("results", [])}
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return schema, {r["name"]: r for r in doc.get("results", [])}
 
 
 def main():
@@ -36,8 +47,13 @@ def main():
                     help="exit 1 on regression instead of warning")
     args = ap.parse_args()
 
-    base = load_results(args.baseline)
-    curr = load_results(args.current)
+    base_schema, base = load_doc(args.baseline)
+    curr_schema, curr = load_doc(args.current)
+    if base_schema != curr_schema:
+        sys.exit(f"schema mismatch: {args.baseline} is {base_schema}, "
+                 f"{args.current} is {curr_schema}")
+    metric, unit = SCHEMAS[base_schema]
+
     common = sorted(set(base) & set(curr))
     if not common:
         print("perf_diff: no common benchmarks between the two files")
@@ -47,13 +63,13 @@ def main():
     regressions = []
     print(f"{'benchmark':<{width}}  {'base':>9}  {'curr':>9}  {'delta':>8}")
     for name in common:
-        b, c = base[name]["gflops"], curr[name]["gflops"]
+        b, c = base[name][metric], curr[name][metric]
         delta = (c - b) / b * 100.0 if b > 0 else 0.0
         mark = ""
         if delta < -args.threshold:
             mark = "  << REGRESSION"
             regressions.append((name, delta))
-        print(f"{name:<{width}}  {b:>8.2f}G  {c:>8.2f}G  {delta:>+7.1f}%{mark}")
+        print(f"{name:<{width}}  {b:>8.2f}{unit}  {c:>8.2f}{unit}  {delta:>+7.1f}%{mark}")
 
     for name in sorted(set(base) - set(curr)):
         print(f"{name:<{width}}  (baseline only)")
@@ -62,7 +78,7 @@ def main():
 
     if regressions:
         print(f"\nperf_diff: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0f}% GFLOP/s vs baseline")
+              f"{args.threshold:.0f}% {metric} vs baseline")
         if args.strict:
             return 1
         print("perf_diff: warning only (pass --strict to fail)")
