@@ -2,7 +2,7 @@
 
 namespace capr::analysis {
 
-Report analyze_model(nn::Model& model) {
+Report analyze_model(const nn::Model& model) {
   ShapeTrace trace = infer_shapes(model);
   Report report = trace.report;
   // Unit metadata only means something on a well-formed graph; a broken
@@ -11,7 +11,7 @@ Report analyze_model(nn::Model& model) {
   return report;
 }
 
-Report analyze_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+Report analyze_plan(const nn::Model& model, const std::vector<core::UnitSelection>& plan,
                     const VerifyOptions& opts) {
   Report report = analyze_model(model);
   report.merge(verify_plan(model, plan, opts));

@@ -19,11 +19,11 @@
 namespace capr::analysis {
 
 /// Certifies graph shape legality and unit-metadata consistency.
-Report analyze_model(nn::Model& model);
+Report analyze_model(const nn::Model& model);
 
 /// Certifies model and plan together. Strategy/score context in `opts`
 /// enables the cap and threshold checks.
-Report analyze_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+Report analyze_plan(const nn::Model& model, const std::vector<core::UnitSelection>& plan,
                     const VerifyOptions& opts = {});
 
 /// Throws AnalysisError when `report` has errors; no-op otherwise.

@@ -31,6 +31,7 @@ std::string Diagnostic::format() const {
     case Severity::kWarning: os << "warning: "; break;
     case Severity::kNote: os << "note: "; break;
   }
+  if (node >= 0) os << "node " << node << ", ";
   if (!layer.empty()) os << "layer " << layer << ": ";
   if (unit >= 0) os << "unit " << unit << ": ";
   os << message;

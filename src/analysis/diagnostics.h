@@ -47,11 +47,15 @@ struct Diagnostic {
   /// Flattened layer path ("7", "12.conv2") for graph diagnostics; empty
   /// for plan diagnostics.
   std::string layer;
+  /// Stable graph::ModuleGraph node id for graph diagnostics; -1 when
+  /// not node-scoped. Unlike `layer` (display path) this survives
+  /// renames and is what tooling should key on.
+  int64_t node = -1;
   /// Unit index for plan diagnostics; -1 when not unit-scoped.
   int64_t unit = -1;
   std::string message;
 
-  /// "[E-SHAPE] layer 7: ..." / "[E-EMPTY-UNIT] unit 3: ..." form.
+  /// "[E-SHAPE] node 4, layer 7: ..." / "[E-EMPTY-UNIT] unit 3: ..." form.
   std::string format() const;
 };
 

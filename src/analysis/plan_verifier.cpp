@@ -5,7 +5,7 @@
 #include <set>
 #include <sstream>
 
-#include "nn/depgraph.h"
+#include "graph/graph.h"
 
 namespace capr::analysis {
 namespace {
@@ -14,65 +14,41 @@ std::string unit_label(const nn::PrunableUnit& u) {
   return u.name.empty() ? std::string("<anonymous>") : "'" + u.name + "'";
 }
 
-/// Convs whose output channels are pinned by a residual add: conv2 and
-/// the projection conv of every BasicBlock, plus any conv whose channels
-/// flow into an identity shortcut. Derived from the graph, independent
-/// of the (possibly wrong) hand annotations.
-void collect_residual_constrained(nn::Sequential& seq, nn::Conv2d*& open_producer,
-                                  std::set<const nn::Conv2d*>& constrained) {
-  for (size_t i = 0; i < seq.size(); ++i) {
-    nn::Layer& child = seq.child(i);
-    if (auto* nested = dynamic_cast<nn::Sequential*>(&child)) {
-      collect_residual_constrained(*nested, open_producer, constrained);
-      continue;
-    }
-    if (auto* blk = dynamic_cast<nn::BasicBlock*>(&child)) {
-      if (!blk->has_projection() && open_producer != nullptr) {
-        constrained.insert(open_producer);  // feeds the identity shortcut
-      }
-      constrained.insert(&blk->conv2());
-      if (blk->proj_conv() != nullptr) constrained.insert(blk->proj_conv());
-      // The block's output channel count is pinned by the add; treat
-      // conv2 as the (already constrained) incumbent producer so a
-      // following identity block resolves to it.
-      open_producer = &blk->conv2();
-      continue;
-    }
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(&child)) {
-      open_producer = conv;
-      continue;
-    }
-    if (dynamic_cast<nn::Linear*>(&child) != nullptr) {
-      open_producer = nullptr;  // channel dimension consumed
-    }
-    // Activations, BN, pooling, dropout preserve the channel owner.
-  }
-}
-
-std::set<const nn::Conv2d*> residual_constrained(nn::Model& model) {
+/// Producer classification straight from the ModuleGraph's coupling
+/// groups, independent of the (possibly wrong) hand annotations:
+/// `constrained` holds convs whose output channels are pinned by a
+/// residual add (conv2/projection of every BasicBlock plus any conv
+/// feeding an identity shortcut); `legal` holds certified prunable
+/// producers. When the graph itself is ill-formed only the groups
+/// recorded before the first bad edge are classified (and, if `report`
+/// is given, a diagnostic explains why derivation stopped).
+struct ProducerSets {
   std::set<const nn::Conv2d*> constrained;
-  nn::Conv2d* open_producer = nullptr;
-  if (model.net != nullptr) {
-    collect_residual_constrained(*model.net, open_producer, constrained);
-  }
-  return constrained;
-}
-
-/// Legal producer set per the dependency analysis; empty optional when
-/// the graph defeats derivation (a diagnostic is added instead).
-std::set<const nn::Conv2d*> derive_legal_producers(nn::Model& model, Report& report) {
   std::set<const nn::Conv2d*> legal;
-  try {
-    for (const nn::PrunableUnit& u : nn::derive_units(*model.net, model.input_shape)) {
-      legal.insert(u.conv);
-    }
-  } catch (const std::logic_error& e) {
+};
+
+ProducerSets classify_producers(const nn::Model& model, Report* report) {
+  ProducerSets sets;
+  if (model.net == nullptr) return sets;
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok() && report != nullptr) {
     Diagnostic d;
     d.code = DiagCode::kUnknownLayer;
-    d.message = std::string("dependency derivation failed: ") + e.what();
-    report.add(std::move(d));
+    d.node = g.error()->node;
+    d.message = "dependency derivation failed: " + g.error()->format();
+    report->add(std::move(d));
   }
-  return legal;
+  for (const graph::CouplingGroup& grp : g.groups()) {
+    if (grp.producer == graph::kNoNode) continue;
+    const auto* conv = static_cast<const nn::Conv2d*>(g.node(grp.producer).layer);
+    if (grp.residual_constrained) {
+      sets.constrained.insert(conv);
+    } else if (!grp.consumers.empty()) {
+      sets.legal.insert(conv);
+    }
+  }
+  if (!g.ok()) sets.legal.clear();  // cannot certify producers on a broken graph
+  return sets;
 }
 
 void check_unit_against_graph(const nn::PrunableUnit& u, int64_t index,
@@ -133,18 +109,17 @@ void check_unit_against_graph(const nn::PrunableUnit& u, int64_t index,
 
 }  // namespace
 
-Report verify_units(nn::Model& model) {
+Report verify_units(const nn::Model& model) {
   Report report;
-  const std::set<const nn::Conv2d*> constrained = residual_constrained(model);
-  const std::set<const nn::Conv2d*> legal = derive_legal_producers(model, report);
+  const ProducerSets sets = classify_producers(model, &report);
   for (size_t u = 0; u < model.units.size(); ++u) {
-    check_unit_against_graph(model.units[u], static_cast<int64_t>(u), constrained, legal,
-                             report);
+    check_unit_against_graph(model.units[u], static_cast<int64_t>(u), sets.constrained,
+                             sets.legal, report);
   }
   return report;
 }
 
-Report verify_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+Report verify_plan(const nn::Model& model, const std::vector<core::UnitSelection>& plan,
                    const VerifyOptions& opts) {
   Report report;
   const auto add = [&](DiagCode code, int64_t unit, const std::string& msg) {
@@ -169,7 +144,8 @@ Report verify_plan(nn::Model& model, const std::vector<core::UnitSelection>& pla
     agg.insert(agg.end(), sel.filters.begin(), sel.filters.end());
   }
 
-  const std::set<const nn::Conv2d*> constrained = residual_constrained(model);
+  const std::set<const nn::Conv2d*> constrained =
+      classify_producers(model, nullptr).constrained;
 
   int64_t total_filters = 0;
   for (const nn::PrunableUnit& u : model.units) total_filters += u.conv->out_channels();

@@ -45,14 +45,13 @@ struct VerifyOptions {
   const core::ImportanceResult* scores = nullptr;
 };
 
-/// Certifies the model's PrunableUnit metadata against the graph:
-/// coupling consistency and residual legality of every unit. The model
-/// is not mutated (non-const only because units hold layer pointers).
-Report verify_units(nn::Model& model);
+/// Certifies the model's PrunableUnit metadata against the ModuleGraph:
+/// coupling consistency and residual legality of every unit.
+Report verify_units(const nn::Model& model);
 
 /// Certifies one plan. Structural checks always run; strategy/score
 /// checks run when the options provide the context.
-Report verify_plan(nn::Model& model, const std::vector<core::UnitSelection>& plan,
+Report verify_plan(const nn::Model& model, const std::vector<core::UnitSelection>& plan,
                    const VerifyOptions& opts = {});
 
 }  // namespace capr::analysis

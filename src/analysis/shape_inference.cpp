@@ -1,185 +1,52 @@
 #include "analysis/shape_inference.h"
 
-#include <sstream>
-
-#include "nn/activations.h"
-#include "nn/dropout.h"
-#include "nn/linear.h"
-#include "nn/pooling.h"
+#include "graph/graph.h"
 
 namespace capr::analysis {
 namespace {
 
-std::string describe(const std::string& kind, const std::string& name) {
-  std::string out = "(" + kind;
+DiagCode map_code(graph::GraphError::Code code) {
+  switch (code) {
+    case graph::GraphError::Code::kShapeMismatch: return DiagCode::kShapeMismatch;
+    case graph::GraphError::Code::kUnknownLayer: return DiagCode::kUnknownLayer;
+    case graph::GraphError::Code::kResidualShape: return DiagCode::kResidualShape;
+  }
+  return DiagCode::kShapeMismatch;
+}
+
+std::string describe(const std::string& path, const std::string& kind,
+                     const std::string& name) {
+  std::string out = path + " (" + kind;
   if (!name.empty()) out += " '" + name + "'";
   out += ")";
   return out;
 }
 
-/// Propagates shapes layer by layer; stops at the first error so the
-/// reported edge is exactly the first ill-formed one.
-struct Walker {
-  ShapeTrace trace;
-  int64_t position = 0;  // flattened top-level position
-  bool stopped = false;
-
-  void fail(const std::string& path, nn::Layer& layer, DiagCode code,
-            const std::string& msg) {
-    Diagnostic d;
-    d.code = code;
-    d.layer = path + " " + describe(layer.kind(), layer.name());
-    d.message = msg;
-    trace.report.add(std::move(d));
-    stopped = true;
-  }
-
-  void record(const std::string& path, nn::Layer& layer, const Shape& in, Shape out) {
-    trace.steps.push_back(ShapeStep{path, layer.kind(), layer.name(), in, std::move(out)});
-  }
-
-  Shape conv_out(const std::string& path, nn::Conv2d& conv, const Shape& in) {
-    if (in.size() != 3) {
-      fail(path, conv, DiagCode::kShapeMismatch,
-           "expects rank-3 [C,H,W] input, producer yields " + capr::to_string(in));
-      return {};
-    }
-    if (in[0] != conv.in_channels()) {
-      fail(path, conv, DiagCode::kShapeMismatch,
-           "expects C_in=" + std::to_string(conv.in_channels()) + ", producer yields " +
-               std::to_string(in[0]));
-      return {};
-    }
-    const int64_t oh = (in[1] + 2 * conv.padding() - conv.kernel()) / conv.stride() + 1;
-    const int64_t ow = (in[2] + 2 * conv.padding() - conv.kernel()) / conv.stride() + 1;
-    if (oh <= 0 || ow <= 0) {
-      std::ostringstream os;
-      os << "kernel " << conv.kernel() << " stride " << conv.stride() << " padding "
-         << conv.padding() << " does not fit input " << capr::to_string(in);
-      fail(path, conv, DiagCode::kShapeMismatch, os.str());
-      return {};
-    }
-    return {conv.out_channels(), oh, ow};
-  }
-
-  /// One primitive (non-composite) layer; returns the output shape.
-  Shape step(const std::string& path, nn::Layer& layer, const Shape& in) {
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
-      Shape out = conv_out(path, *conv, in);
-      if (!stopped) record(path, layer, in, out);
-      return out;
-    }
-    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
-      if (in.size() != 3 || in[0] != bn->channels()) {
-        fail(path, layer, DiagCode::kShapeMismatch,
-             "expects " + std::to_string(bn->channels()) + " channels, producer yields " +
-                 capr::to_string(in));
-        return {};
-      }
-      record(path, layer, in, in);
-      return in;
-    }
-    if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
-      if (in.size() == 3) {
-        fail(path, layer, DiagCode::kShapeMismatch,
-             "applied to spatial output " + capr::to_string(in) + " without Flatten");
-        return {};
-      }
-      if (in.size() != 1 || in[0] != lin->in_features()) {
-        fail(path, layer, DiagCode::kShapeMismatch,
-             "expects in_features=" + std::to_string(lin->in_features()) +
-                 ", producer yields " + capr::to_string(in));
-        return {};
-      }
-      Shape out{lin->out_features()};
-      record(path, layer, in, out);
-      return out;
-    }
-    if (dynamic_cast<nn::ReLU*>(&layer) != nullptr ||
-        dynamic_cast<nn::LeakyReLU*>(&layer) != nullptr ||
-        dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
-      record(path, layer, in, in);
-      return in;
-    }
-    if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
-      Shape out{numel_of(in)};
-      record(path, layer, in, out);
-      return out;
-    }
-    if (dynamic_cast<nn::MaxPool2d*>(&layer) != nullptr ||
-        dynamic_cast<nn::AvgPool2d*>(&layer) != nullptr ||
-        dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
-      // Pool geometry lives behind output_shape; its exceptions become
-      // diagnostics (the message already names window/input).
-      try {
-        Shape out = layer.output_shape(in);
-        record(path, layer, in, out);
-        return out;
-      } catch (const std::exception& e) {
-        fail(path, layer, DiagCode::kShapeMismatch, e.what());
-        return {};
-      }
-    }
-    fail(path, layer, DiagCode::kUnknownLayer,
-         "layer kind '" + layer.kind() + "' is not certified by the analyzer");
-    return {};
-  }
-
-  Shape block(const std::string& path, nn::BasicBlock& blk, const Shape& in) {
-    Shape main = step(path + ".conv1", blk.conv1(), in);
-    if (stopped) return {};
-    main = step(path + ".bn1", blk.bn1(), main);
-    if (stopped) return {};
-    main = step(path + ".conv2", blk.conv2(), main);
-    if (stopped) return {};
-    main = step(path + ".bn2", blk.bn2(), main);
-    if (stopped) return {};
-
-    Shape shortcut = in;
-    if (blk.has_projection()) {
-      shortcut = step(path + ".proj", *blk.proj_conv(), in);
-      if (stopped) return {};
-      shortcut = step(path + ".proj_bn", *blk.proj_bn(), shortcut);
-      if (stopped) return {};
-    }
-    if (main != shortcut) {
-      fail(path, blk, DiagCode::kResidualShape,
-           "residual add: main path yields " + capr::to_string(main) + ", shortcut yields " +
-               capr::to_string(shortcut));
-      return {};
-    }
-    record(path, blk, in, main);
-    return main;
-  }
-
-  Shape walk(nn::Sequential& seq, Shape in) {
-    for (size_t i = 0; i < seq.size() && !stopped; ++i) {
-      nn::Layer& child = seq.child(i);
-      if (auto* nested = dynamic_cast<nn::Sequential*>(&child)) {
-        in = walk(*nested, std::move(in));
-        continue;
-      }
-      const std::string path = std::to_string(position++);
-      if (auto* blk = dynamic_cast<nn::BasicBlock*>(&child)) {
-        in = block(path, *blk, in);
-      } else {
-        in = step(path, child, in);
-      }
-    }
-    return in;
-  }
-};
-
 }  // namespace
 
-ShapeTrace infer_shapes(nn::Sequential& net, const Shape& input) {
-  Walker w;
-  Shape out = w.walk(net, input);
-  if (!w.stopped) w.trace.output = std::move(out);
-  return std::move(w.trace);
+ShapeTrace infer_shapes(const nn::Sequential& net, const Shape& input) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(net, input);
+  ShapeTrace trace;
+  trace.steps.reserve(g.nodes().size());
+  for (const graph::Node& n : g.nodes()) {
+    trace.steps.push_back(
+        ShapeStep{n.path, graph::to_string(n.kind), n.name, n.in_shape, n.out_shape, n.id});
+  }
+  if (g.ok()) {
+    trace.output = g.output_shape();
+  } else {
+    const graph::GraphError& e = *g.error();
+    Diagnostic d;
+    d.code = map_code(e.code);
+    d.layer = describe(e.path, e.kind, e.name);
+    d.node = e.node;
+    d.message = e.message;
+    trace.report.add(std::move(d));
+  }
+  return trace;
 }
 
-ShapeTrace infer_shapes(nn::Model& model) {
+ShapeTrace infer_shapes(const nn::Model& model) {
   if (model.net == nullptr) {
     ShapeTrace trace;
     Diagnostic d;

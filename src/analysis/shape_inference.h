@@ -1,16 +1,17 @@
-// Symbolic shape inference over a Sequential layer graph.
+// Symbolic shape inference over a model's ModuleGraph.
 //
-// Walks the graph WITHOUT executing a forward pass, propagating the
-// activation shape (excluding batch) edge by edge, and reports the first
-// ill-formed edge with a source-like diagnostic:
+// Certifies shape legality WITHOUT executing a forward pass: the
+// graph::ModuleGraph builder propagates the activation shape (excluding
+// batch) edge by edge, and this facade reports the first ill-formed edge
+// with a source-like diagnostic:
 //
 //   [E-SHAPE] layer 7 (conv2d 'features.7'): expects C_in=64, producer yields 32
 //
-// Layers are addressed by their flattened position in the graph; nested
-// structure is spelled with dotted suffixes ("12.conv2" is the second
-// conv of the basic block at position 12). The trace of every legal edge
-// is returned alongside the verdict so tools (capr-analyze) can print the
-// full propagation table.
+// Layers are addressed by their stable graph node id and flattened path;
+// nested structure is spelled with dotted suffixes ("12.conv2" is the
+// second conv of the basic block at position 12). The trace of every
+// certified node is returned alongside the verdict so tools
+// (capr-analyze) can print the full propagation table.
 #pragma once
 
 #include <string>
@@ -21,13 +22,14 @@
 
 namespace capr::analysis {
 
-/// One certified edge of the walk.
+/// One certified node of the graph walk.
 struct ShapeStep {
-  std::string layer;  // flattened position, e.g. "7" or "12.conv2"
-  std::string kind;   // layer.kind()
+  std::string layer;  // flattened path, e.g. "7" or "12.conv2"
+  std::string kind;   // node kind tag ("conv2d", "add", ...)
   std::string name;   // builder-assigned name ("" if anonymous)
   Shape in;
   Shape out;
+  int64_t node = -1;  // stable graph node id
 };
 
 struct ShapeTrace {
@@ -39,10 +41,10 @@ struct ShapeTrace {
 
 /// Infers shapes through `net` for an input of shape `input` ([C, H, W]
 /// or any rank — consumers validate rank themselves). Stops at the first
-/// ill-formed edge; the trace holds every edge proven legal before it.
-ShapeTrace infer_shapes(nn::Sequential& net, const Shape& input);
+/// ill-formed edge; the trace holds every node proven legal before it.
+ShapeTrace infer_shapes(const nn::Sequential& net, const Shape& input);
 
 /// Convenience: full-model certification (net + declared input shape).
-ShapeTrace infer_shapes(nn::Model& model);
+ShapeTrace infer_shapes(const nn::Model& model);
 
 }  // namespace capr::analysis

@@ -17,8 +17,7 @@ struct CaptureAll {
   ~CaptureAll() {
     for (auto& u : model.units) {
       u.score_point->instrument().capture = false;
-      u.score_point->instrument().captured_output = Tensor();
-      u.score_point->instrument().captured_grad = Tensor();
+      u.score_point->instrument().release_captures();
     }
   }
   CaptureAll(const CaptureAll&) = delete;

@@ -28,8 +28,7 @@ struct CaptureGuard {
   explicit CaptureGuard(nn::Layer* l) : layer(l) { layer->instrument().capture = true; }
   ~CaptureGuard() {
     layer->instrument().capture = false;
-    layer->instrument().captured_output = Tensor();
-    layer->instrument().captured_grad = Tensor();
+    layer->instrument().release_captures();
   }
   CaptureGuard(const CaptureGuard&) = delete;
   CaptureGuard& operator=(const CaptureGuard&) = delete;
@@ -212,6 +211,12 @@ ImportanceResult ImportanceEvaluator::evaluate(nn::Model& model,
         result.units[u].total[static_cast<size_t>(filter)] += agg;
       }
     }
+
+    // End-of-round hygiene: captured activation/gradient tensors for a
+    // whole batch dominate peak memory during scoring; drop them before
+    // sampling the next class (guards only release on scope exit, and
+    // the exact path re-captures per perturbation).
+    for (auto& unit : model.units) unit.score_point->instrument().release_captures();
   }
   return result;
 }

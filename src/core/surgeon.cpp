@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "graph/graph.h"
+
 namespace capr::core {
 namespace {
 
@@ -21,7 +23,25 @@ void remove_filters(nn::Model& model, size_t unit_index, const std::vector<int64
     throw std::out_of_range("remove_filters: unit index out of range");
   }
   if (filters.empty()) return;
-  nn::PrunableUnit& unit = model.units[unit_index];
+
+  // The edit is driven by the graph's coupling group, not the hand
+  // annotations: the group re-resolves producer/BN/consumers from the
+  // current structure, so stale or tampered unit metadata cannot steer
+  // the surgeon into an illegal edit.
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok()) {
+    throw std::logic_error("remove_filters: " + g.error()->format());
+  }
+  const graph::CouplingGroup* grp = g.group_for(model.units[unit_index].conv);
+  if (grp == nullptr) {
+    throw std::logic_error("remove_filters: unit " + std::to_string(unit_index) +
+                           " has no coupling group in the model graph");
+  }
+  if (grp->residual_constrained) {
+    throw std::logic_error("remove_filters: unit " + std::to_string(unit_index) +
+                           " ('" + grp->name + "') is residual-constrained");
+  }
+  nn::PrunableUnit unit = g.materialize(*grp);
 
   unit.conv->remove_out_channels(filters);
   if (unit.bn != nullptr) unit.bn->remove_channels(filters);

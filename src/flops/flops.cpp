@@ -2,90 +2,66 @@
 
 #include <stdexcept>
 
-#include "nn/pooling.h"
+#include "graph/graph.h"
 
 namespace capr::flops {
 namespace {
 
-using nn::BasicBlock;
-using nn::BatchNorm2d;
-using nn::Conv2d;
-using nn::Flatten;
-using nn::GlobalAvgPool;
-using nn::Layer;
-using nn::Linear;
-using nn::MaxPool2d;
-using nn::ReLU;
-using nn::Sequential;
-
 int64_t elems(const Shape& s) { return numel_of(s); }
 
-/// Propagates the probe shape through `layer`, appending per-layer costs.
-Shape visit_layer(Layer& layer, const Shape& in, ModelCost& cost);
-
-Shape visit_children(Sequential& seq, Shape s, ModelCost& cost) {
-  for (size_t i = 0; i < seq.size(); ++i) s = visit_layer(seq.child(i), s, cost);
-  return s;
-}
-
-Shape visit_block(BasicBlock& blk, const Shape& in, ModelCost& cost) {
-  Shape s = visit_layer(blk.conv1(), in, cost);
-  s = visit_layer(blk.bn1(), s, cost);
-  s = visit_layer(blk.relu1(), s, cost);
-  s = visit_layer(blk.conv2(), s, cost);
-  s = visit_layer(blk.bn2(), s, cost);
-  if (blk.has_projection()) {
-    Shape p = visit_layer(*blk.proj_conv(), in, cost);
-    p = visit_layer(*blk.proj_bn(), p, cost);
-    if (p != s) throw std::logic_error("BasicBlock: branch shapes diverge");
-  }
-  // Elementwise residual add.
-  cost.layers.push_back({blk.name() + ".add", "add", 0, 0, elems(s)});
-  s = visit_layer(blk.relu_out(), s, cost);
-  return s;
-}
-
-Shape visit_layer(Layer& layer, const Shape& in, ModelCost& cost) {
-  if (auto* seq = dynamic_cast<Sequential*>(&layer)) return visit_children(*seq, in, cost);
-  if (auto* blk = dynamic_cast<BasicBlock*>(&layer)) return visit_block(*blk, in, cost);
-
-  const Shape out = layer.output_shape(in);
+/// Cost of one graph node. Closed forms match the paper's conventions
+/// (one MAC = 2 FLOPs; bias/BN/activations one FLOP per element).
+LayerCost node_cost(const graph::Node& n) {
   LayerCost lc;
-  lc.name = layer.name();
-  lc.kind = layer.kind();
-  if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
-    const int64_t k2 = conv->kernel() * conv->kernel();
-    lc.params = conv->out_channels() * conv->in_channels() * k2 +
-                (conv->has_bias() ? conv->out_channels() : 0);
-    lc.macs = elems(out) * conv->in_channels() * k2;
-    lc.flops = 2 * lc.macs + (conv->has_bias() ? elems(out) : 0);
-  } else if (auto* lin = dynamic_cast<Linear*>(&layer)) {
-    lc.params = lin->out_features() * lin->in_features() + lin->out_features();
-    lc.macs = lin->out_features() * lin->in_features();
-    lc.flops = 2 * lc.macs + lin->out_features();
-  } else if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
-    lc.params = 2 * bn->channels();
-    lc.flops = 2 * elems(out);
-  } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
-    lc.flops = elems(out);
-  } else if (dynamic_cast<MaxPool2d*>(&layer) != nullptr) {
-    lc.flops = elems(in);  // each input element enters one comparison window
-  } else if (dynamic_cast<GlobalAvgPool*>(&layer) != nullptr) {
-    lc.flops = elems(in);
-  } else if (dynamic_cast<Flatten*>(&layer) != nullptr) {
-    // free
-  } else {
-    throw std::logic_error("flops: unknown layer kind '" + layer.kind() + "'");
+  lc.name = n.name;
+  lc.kind = graph::to_string(n.kind);
+  switch (n.kind) {
+    case graph::Kind::kConv2d: {
+      const int64_t k2 = n.conv.kernel * n.conv.kernel;
+      lc.params = n.conv.out_channels * n.conv.in_channels * k2 +
+                  (n.conv.bias ? n.conv.out_channels : 0);
+      lc.macs = elems(n.out_shape) * n.conv.in_channels * k2;
+      lc.flops = 2 * lc.macs + (n.conv.bias ? elems(n.out_shape) : 0);
+      break;
+    }
+    case graph::Kind::kLinear:
+      lc.params = n.linear.out_features * n.linear.in_features + n.linear.out_features;
+      lc.macs = n.linear.out_features * n.linear.in_features;
+      lc.flops = 2 * lc.macs + n.linear.out_features;
+      break;
+    case graph::Kind::kBatchNorm2d:
+      lc.params = 2 * n.out_shape[0];
+      lc.flops = 2 * elems(n.out_shape);
+      break;
+    case graph::Kind::kReLU:
+    case graph::Kind::kLeakyReLU:
+      lc.flops = elems(n.out_shape);
+      break;
+    case graph::Kind::kMaxPool2d:  // each input element enters one window
+    case graph::Kind::kAvgPool2d:
+    case graph::Kind::kGlobalAvgPool:
+      lc.flops = elems(n.in_shape);
+      break;
+    case graph::Kind::kFlatten:
+    case graph::Kind::kDropout:
+      break;  // free at inference
+    case graph::Kind::kAdd:  // elementwise residual add
+      lc.flops = elems(n.out_shape);
+      break;
   }
-  cost.layers.push_back(lc);
-  return out;
+  return lc;
 }
 
 }  // namespace
 
-ModelCost count(nn::Model& model) {
+ModelCost count(const nn::Model& model) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok()) {
+    throw std::logic_error("flops: " + g.error()->format());
+  }
   ModelCost cost;
-  visit_children(*model.net, model.input_shape, cost);
+  cost.layers.reserve(g.nodes().size());
+  for (const graph::Node& n : g.nodes()) cost.layers.push_back(node_cost(n));
   for (const LayerCost& lc : cost.layers) {
     cost.total_params += lc.params;
     cost.total_macs += lc.macs;

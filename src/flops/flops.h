@@ -30,8 +30,10 @@ struct ModelCost {
   int64_t total_flops = 0;
 };
 
-/// Walks the model graph with a shape probe and accumulates costs.
-ModelCost count(nn::Model& model);
+/// Accumulates per-node costs over the model's graph::ModuleGraph (one
+/// row per node, including the synthetic residual ".add"). Throws
+/// std::logic_error when the model's graph is ill-formed.
+ModelCost count(const nn::Model& model);
 
 /// Pruning metrics between a dense baseline and a pruned model:
 /// ratio of removed parameters and of removed FLOPs, as in Table I.

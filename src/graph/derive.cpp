@@ -1,0 +1,27 @@
+// nn::derive_units / nn::annotate_model as ModuleGraph queries.
+//
+// The dependency walk itself lives in graph.cpp; this file only adapts
+// the graph's coupling groups to the legacy interface declared in
+// nn/depgraph.h: a flat list of PrunableUnits and a std::logic_error on
+// graphs the analysis cannot prove safe.
+#include "nn/depgraph.h"
+
+#include <stdexcept>
+
+#include "graph/graph.h"
+
+namespace capr::nn {
+
+std::vector<PrunableUnit> derive_units(const Sequential& net, const Shape& input_shape) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(net, input_shape);
+  if (!g.ok()) {
+    throw std::logic_error("derive_units: " + g.error()->format());
+  }
+  return g.prunable_units();
+}
+
+void annotate_model(Model& model) {
+  model.units = derive_units(*model.net, model.input_shape);
+}
+
+}  // namespace capr::nn

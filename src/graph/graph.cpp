@@ -1,0 +1,442 @@
+#include "graph/graph.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace capr::graph {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kConv2d: return "conv2d";
+    case Kind::kBatchNorm2d: return "batchnorm2d";
+    case Kind::kReLU: return "relu";
+    case Kind::kLeakyReLU: return "leakyrelu";
+    case Kind::kDropout: return "dropout";
+    case Kind::kMaxPool2d: return "maxpool2d";
+    case Kind::kAvgPool2d: return "avgpool2d";
+    case Kind::kGlobalAvgPool: return "gavgpool";
+    case Kind::kFlatten: return "flatten";
+    case Kind::kLinear: return "linear";
+    case Kind::kAdd: return "add";
+  }
+  return "unknown";
+}
+
+std::string GraphError::where() const {
+  std::string out = "layer " + path + " (" + kind;
+  if (!name.empty()) out += " '" + name + "'";
+  out += ")";
+  return out;
+}
+
+std::string GraphError::format() const { return where() + ": " + message; }
+
+namespace {
+
+int64_t param_count(const nn::Layer& layer) {
+  int64_t n = 0;
+  for (const nn::Param* p : layer.params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace
+
+/// Single-pass walk replicating the depgraph/shape-inference semantics:
+/// validates every edge, materializes nodes, and tracks the "open"
+/// channel producer to record coupling groups.
+struct Builder {
+  ModuleGraph g;
+  int64_t position = 0;          // flattened top-level position
+  NodeId prev = kNoNode;         // data-flow predecessor
+  Shape shape;                   // current activation shape (no batch)
+  int64_t spatial_per_channel = 1;  // features per channel if flattened
+  bool collapsed = false;        // a Flatten/GAP has run since the conv
+  bool failed = false;
+
+  CouplingGroup pending;  // valid iff has_pending
+  bool has_pending = false;
+
+  void fail(const std::string& path, const char* kind, const std::string& name,
+            GraphError::Code code, std::string message) {
+    GraphError err;
+    err.code = code;
+    err.node = static_cast<NodeId>(g.nodes_.size());
+    err.path = path;
+    err.kind = kind;
+    err.name = name;
+    err.message = std::move(message);
+    g.error_ = std::move(err);
+    failed = true;
+  }
+
+  NodeId add_node(Kind kind, const std::string& path, const nn::Layer* layer,
+                  const Shape& in, Shape out, std::vector<NodeId> inputs) {
+    Node n;
+    n.id = static_cast<NodeId>(g.nodes_.size());
+    n.kind = kind;
+    n.path = path;
+    n.name = layer != nullptr ? layer->name() : std::string();
+    n.layer = layer;
+    n.in_shape = in;
+    n.out_shape = std::move(out);
+    n.params = layer != nullptr ? param_count(*layer) : 0;
+    for (NodeId src : inputs) {
+      if (src == kNoNode) continue;
+      n.inputs.push_back(src);
+      g.nodes_[static_cast<size_t>(src)].outputs.push_back(n.id);
+    }
+    if (auto* conv = dynamic_cast<const nn::Conv2d*>(layer)) {
+      n.conv = ConvAttrs{conv->in_channels(), conv->out_channels(), conv->kernel(),
+                         conv->stride(),      conv->padding(),      conv->has_bias()};
+    } else if (auto* lin = dynamic_cast<const nn::Linear*>(layer)) {
+      n.linear = LinearAttrs{lin->in_features(), lin->out_features()};
+    }
+    g.nodes_.push_back(std::move(n));
+    return g.nodes_.back().id;
+  }
+
+  /// Closes the open producer group with one more consumer.
+  void finalize_pending(GroupConsumer consumer) {
+    if (!has_pending) return;
+    pending.consumers.push_back(consumer);
+    g.groups_.push_back(std::move(pending));
+    pending = CouplingGroup{};
+    has_pending = false;
+  }
+
+  void open_pending(NodeId producer, NodeId bn, std::string name, bool constrained) {
+    pending = CouplingGroup{};
+    pending.name = std::move(name);
+    pending.producer = producer;
+    pending.bn = bn;
+    pending.residual_constrained = constrained;
+    has_pending = true;
+  }
+
+  /// Validates and materializes one conv fed by `in` from `src`.
+  NodeId conv_node(const std::string& path, const nn::Conv2d& conv, const Shape& in,
+                   NodeId src) {
+    if (in.size() != 3) {
+      fail(path, "conv2d", conv.name(), GraphError::Code::kShapeMismatch,
+           "expects rank-3 [C,H,W] input, producer yields " + capr::to_string(in));
+      return kNoNode;
+    }
+    if (in[0] != conv.in_channels()) {
+      fail(path, "conv2d", conv.name(), GraphError::Code::kShapeMismatch,
+           "expects C_in=" + std::to_string(conv.in_channels()) + ", producer yields " +
+               std::to_string(in[0]));
+      return kNoNode;
+    }
+    const int64_t oh = (in[1] + 2 * conv.padding() - conv.kernel()) / conv.stride() + 1;
+    const int64_t ow = (in[2] + 2 * conv.padding() - conv.kernel()) / conv.stride() + 1;
+    if (oh <= 0 || ow <= 0) {
+      std::ostringstream os;
+      os << "kernel " << conv.kernel() << " stride " << conv.stride() << " padding "
+         << conv.padding() << " does not fit input " << capr::to_string(in);
+      fail(path, "conv2d", conv.name(), GraphError::Code::kShapeMismatch, os.str());
+      return kNoNode;
+    }
+    return add_node(Kind::kConv2d, path, &conv, in, {conv.out_channels(), oh, ow}, {src});
+  }
+
+  NodeId bn_node(const std::string& path, const nn::BatchNorm2d& bn, const Shape& in,
+                 NodeId src) {
+    if (in.size() != 3 || in[0] != bn.channels()) {
+      fail(path, "batchnorm2d", bn.name(), GraphError::Code::kShapeMismatch,
+           "expects " + std::to_string(bn.channels()) + " channels, producer yields " +
+               capr::to_string(in));
+      return kNoNode;
+    }
+    return add_node(Kind::kBatchNorm2d, path, &bn, in, in, {src});
+  }
+
+  /// A residual block: one flattened position, expanded into its
+  /// primitive nodes plus the synthetic add.
+  void block(const std::string& path, const nn::BasicBlock& blk) {
+    if (shape.size() != 3 || shape[0] != blk.conv1().in_channels()) {
+      fail(path, "basicblock", blk.name(), GraphError::Code::kShapeMismatch,
+           "residual block expects " + std::to_string(blk.conv1().in_channels()) +
+               " input channels, producer yields " + capr::to_string(shape));
+      return;
+    }
+    const NodeId entry = prev;
+    const Shape in = shape;
+
+    const NodeId c1 = conv_node(path + ".conv1", blk.conv1(), in, entry);
+    if (failed) return;
+    Shape main = g.nodes_[static_cast<size_t>(c1)].out_shape;
+    const NodeId b1 = bn_node(path + ".bn1", blk.bn1(), main, c1);
+    if (failed) return;
+    const NodeId r1 = add_node(Kind::kReLU, path + ".relu1", &blk.relu1(), main, main, {b1});
+    const NodeId c2 = conv_node(path + ".conv2", blk.conv2(), main, r1);
+    if (failed) return;
+    main = g.nodes_[static_cast<size_t>(c2)].out_shape;
+    const NodeId b2 = bn_node(path + ".bn2", blk.bn2(), main, c2);
+    if (failed) return;
+
+    Shape shortcut = in;
+    NodeId shortcut_src = entry;
+    NodeId p = kNoNode;
+    NodeId pb = kNoNode;
+    if (blk.has_projection()) {
+      p = conv_node(path + ".proj", *blk.proj_conv(), in, entry);
+      if (failed) return;
+      shortcut = g.nodes_[static_cast<size_t>(p)].out_shape;
+      pb = bn_node(path + ".proj_bn", *blk.proj_bn(), shortcut, p);
+      if (failed) return;
+      shortcut_src = pb;
+    }
+    if (main != shortcut) {
+      fail(path, "basicblock", blk.name(), GraphError::Code::kResidualShape,
+           "residual add: main path yields " + capr::to_string(main) + ", shortcut yields " +
+               capr::to_string(shortcut));
+      return;
+    }
+    const NodeId sum =
+        add_node(Kind::kAdd, path + ".add", nullptr, main, main, {b2, shortcut_src});
+    g.nodes_[static_cast<size_t>(sum)].name = blk.name() + ".add";
+    const NodeId rout =
+        add_node(Kind::kReLU, path + ".relu_out", &blk.relu_out(), main, main, {sum});
+
+    // Incumbent producer feeds conv1 and (via the shortcut) the residual
+    // add. With an identity shortcut its channel count is pinned by the
+    // add -> constrained. With a projection shortcut its channels only
+    // enter conv1 and proj_conv as inputs -> a legal two-consumer group.
+    if (has_pending) {
+      pending.consumers.push_back(GroupConsumer{c1, 1});
+      if (blk.has_projection()) {
+        pending.consumers.push_back(GroupConsumer{p, 1});
+      } else {
+        pending.residual_constrained = true;
+      }
+      g.groups_.push_back(std::move(pending));
+      pending = CouplingGroup{};
+      has_pending = false;
+    }
+    // conv1 is freely prunable into conv2 (the paper's ResNet rule).
+    CouplingGroup g1;
+    g1.name = blk.conv1().name().empty() ? blk.name() + ".conv1" : blk.conv1().name();
+    g1.producer = c1;
+    g1.bn = b1;
+    g1.score_point = r1;
+    g1.consumers.push_back(GroupConsumer{c2, 1});
+    g.groups_.push_back(std::move(g1));
+    // The projection conv feeds the add directly: constrained, no
+    // channel consumers of its own.
+    if (p != kNoNode) {
+      CouplingGroup gp;
+      gp.name = blk.proj_conv()->name().empty() ? blk.name() + ".proj"
+                                                : blk.proj_conv()->name();
+      gp.producer = p;
+      gp.bn = pb;
+      gp.residual_constrained = true;
+      g.groups_.push_back(std::move(gp));
+    }
+    // conv2 becomes the open producer so downstream consumers resolve to
+    // it — but the add pins its channel count, so the group stays
+    // constrained whatever consumes it.
+    open_pending(c2, b2,
+                 blk.conv2().name().empty() ? blk.name() + ".conv2" : blk.conv2().name(),
+                 /*constrained=*/true);
+
+    shape = main;
+    collapsed = false;
+    spatial_per_channel = 1;
+    prev = rout;
+  }
+
+  /// One primitive (non-composite) layer at a top-level position.
+  void step(const std::string& path, const nn::Layer& layer) {
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
+      const NodeId id = conv_node(path, *conv, shape, prev);
+      if (failed) return;
+      finalize_pending(GroupConsumer{id, 1});
+      open_pending(id, kNoNode, conv->name(), /*constrained=*/false);
+      shape = g.nodes_[static_cast<size_t>(id)].out_shape;
+      collapsed = false;
+      spatial_per_channel = 1;
+      prev = id;
+      return;
+    }
+    if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
+      const NodeId id = bn_node(path, *bn, shape, prev);
+      if (failed) return;
+      if (has_pending && pending.bn == kNoNode &&
+          bn->channels() == g.nodes_[static_cast<size_t>(pending.producer)].conv.out_channels) {
+        pending.bn = id;
+      }
+      prev = id;
+      return;
+    }
+    if (const auto* relu = dynamic_cast<const nn::ReLU*>(&layer)) {
+      const NodeId id = add_node(Kind::kReLU, path, relu, shape, shape, {prev});
+      if (has_pending && pending.score_point == kNoNode) pending.score_point = id;
+      prev = id;
+      return;
+    }
+    if (dynamic_cast<const nn::LeakyReLU*>(&layer) != nullptr) {
+      prev = add_node(Kind::kLeakyReLU, path, &layer, shape, shape, {prev});
+      return;
+    }
+    if (dynamic_cast<const nn::Dropout*>(&layer) != nullptr) {
+      prev = add_node(Kind::kDropout, path, &layer, shape, shape, {prev});
+      return;
+    }
+    if (dynamic_cast<const nn::MaxPool2d*>(&layer) != nullptr ||
+        dynamic_cast<const nn::AvgPool2d*>(&layer) != nullptr) {
+      const Kind kind = dynamic_cast<const nn::MaxPool2d*>(&layer) != nullptr
+                            ? Kind::kMaxPool2d
+                            : Kind::kAvgPool2d;
+      // Pool geometry lives behind output_shape; its exceptions become
+      // the error (the message already names window/input).
+      try {
+        Shape out = layer.output_shape(shape);
+        prev = add_node(kind, path, &layer, shape, out, {prev});
+        shape = std::move(out);
+      } catch (const std::exception& e) {
+        fail(path, to_string(kind), layer.name(), GraphError::Code::kShapeMismatch, e.what());
+      }
+      return;
+    }
+    if (dynamic_cast<const nn::GlobalAvgPool*>(&layer) != nullptr) {
+      try {
+        Shape out = layer.output_shape(shape);
+        prev = add_node(Kind::kGlobalAvgPool, path, &layer, shape, out, {prev});
+        shape = std::move(out);
+        collapsed = true;
+        spatial_per_channel = 1;
+      } catch (const std::exception& e) {
+        fail(path, "gavgpool", layer.name(), GraphError::Code::kShapeMismatch, e.what());
+      }
+      return;
+    }
+    if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr) {
+      if (shape.size() == 3) spatial_per_channel = shape[1] * shape[2];
+      Shape out{numel_of(shape)};
+      prev = add_node(Kind::kFlatten, path, &layer, shape, out, {prev});
+      shape = std::move(out);
+      collapsed = true;
+      return;
+    }
+    if (const auto* lin = dynamic_cast<const nn::Linear*>(&layer)) {
+      if (shape.size() == 3) {
+        fail(path, "linear", lin->name(), GraphError::Code::kShapeMismatch,
+             "applied to spatial output " + capr::to_string(shape) + " without Flatten");
+        return;
+      }
+      if (shape.size() != 1 || shape[0] != lin->in_features()) {
+        fail(path, "linear", lin->name(), GraphError::Code::kShapeMismatch,
+             "expects in_features=" + std::to_string(lin->in_features()) +
+                 ", producer yields " + capr::to_string(shape));
+        return;
+      }
+      const NodeId id = add_node(Kind::kLinear, path, lin, shape, {lin->out_features()}, {prev});
+      finalize_pending(GroupConsumer{id, spatial_per_channel});
+      shape = {lin->out_features()};
+      collapsed = false;
+      spatial_per_channel = 1;
+      prev = id;
+      return;
+    }
+    fail(path, layer.kind().c_str(), layer.name(), GraphError::Code::kUnknownLayer,
+         "unsupported layer kind '" + layer.kind() + "'");
+  }
+
+  void walk(const nn::Sequential& seq) {
+    for (size_t i = 0; i < seq.size() && !failed; ++i) {
+      const nn::Layer& child = seq.child(i);
+      if (const auto* nested = dynamic_cast<const nn::Sequential*>(&child)) {
+        walk(*nested);  // containers are transparent to numbering
+        continue;
+      }
+      const std::string path = std::to_string(position++);
+      if (const auto* blk = dynamic_cast<const nn::BasicBlock*>(&child)) {
+        block(path, *blk);
+      } else {
+        step(path, child);
+      }
+    }
+  }
+};
+
+ModuleGraph ModuleGraph::build(const nn::Sequential& net, const Shape& input_shape) {
+  Builder b;
+  b.g.input_ = input_shape;
+  b.shape = input_shape;
+  b.walk(net);
+  if (!b.failed) {
+    // A producer never consumed (e.g. a trailing conv) stays recorded as
+    // a consumer-less group: visible to queries, never prunable.
+    if (b.has_pending) {
+      b.g.groups_.push_back(std::move(b.pending));
+      b.has_pending = false;
+    }
+    b.g.output_ = std::move(b.shape);
+  }
+  return std::move(b.g);
+}
+
+ModuleGraph ModuleGraph::build(const nn::Model& model) {
+  if (model.net == nullptr) {
+    throw std::invalid_argument("ModuleGraph: model has no layer graph (net == nullptr)");
+  }
+  return build(*model.net, model.input_shape);
+}
+
+const Node* ModuleGraph::find(const nn::Layer* layer) const {
+  if (layer == nullptr) return nullptr;
+  for (const Node& n : nodes_) {
+    if (n.layer == layer) return &n;
+  }
+  return nullptr;
+}
+
+const CouplingGroup* ModuleGraph::group_for(const nn::Conv2d* conv) const {
+  if (conv == nullptr) return nullptr;
+  for (const CouplingGroup& g : groups_) {
+    if (g.producer != kNoNode && node(g.producer).layer == conv) return &g;
+  }
+  return nullptr;
+}
+
+nn::PrunableUnit ModuleGraph::materialize(const CouplingGroup& group) const {
+  nn::PrunableUnit u;
+  u.name = group.name;
+  u.conv = const_cast<nn::Conv2d*>(
+      static_cast<const nn::Conv2d*>(node(group.producer).layer));
+  if (group.bn != kNoNode) {
+    u.bn = const_cast<nn::BatchNorm2d*>(
+        static_cast<const nn::BatchNorm2d*>(node(group.bn).layer));
+  }
+  if (group.score_point != kNoNode) {
+    u.score_point = const_cast<nn::Layer*>(node(group.score_point).layer);
+  }
+  for (const GroupConsumer& c : group.consumers) {
+    const Node& n = node(c.node);
+    nn::ConsumerRef ref;
+    if (n.kind == Kind::kConv2d) {
+      ref.conv = const_cast<nn::Conv2d*>(static_cast<const nn::Conv2d*>(n.layer));
+    } else {
+      ref.linear = const_cast<nn::Linear*>(static_cast<const nn::Linear*>(n.layer));
+      ref.spatial = c.spatial;
+    }
+    u.consumers.push_back(ref);
+  }
+  return u;
+}
+
+std::vector<nn::PrunableUnit> ModuleGraph::prunable_units() const {
+  std::vector<nn::PrunableUnit> units;
+  for (const CouplingGroup& g : groups_) {
+    if (g.residual_constrained || g.consumers.empty()) continue;
+    units.push_back(materialize(g));
+  }
+  return units;
+}
+
+}  // namespace capr::graph

@@ -1,0 +1,189 @@
+// ModuleGraph: the typed, immutable IR of a model's layer structure.
+//
+// Every subsystem that needs to reason about model structure — dependency
+// derivation (nn/depgraph.h), shape inference and plan certification
+// (src/analysis), FLOPs accounting (src/flops), pruning surgery
+// (src/core/surgeon), model summaries (nn/summary.h) and checkpoint
+// replay in serving (src/serve) — consumes this one graph instead of
+// re-walking the Sequential tree with its own dynamic_cast chain.
+//
+// The graph is built once from a Model (or a bare Sequential plus input
+// shape) and is immutable afterwards:
+//
+//   - Nodes are primitives (conv, bn, relu, pool, flatten, linear, ...)
+//     plus one synthetic kAdd node per residual block. Each node carries
+//     a Kind enum (no string dispatch), the resolved input/output
+//     activation shape, its parameter count, and a stable NodeId. The
+//     `path` ("7", "12.conv2", "12.add") names the node the way a
+//     compiler names a source line; containers are transparent and a
+//     BasicBlock occupies ONE flattened position.
+//   - Edges (Node::inputs/outputs) carry data flow, including the
+//     two-input residual add.
+//   - CouplingGroups make channel-dependency structure first-class: the
+//     producer conv, its attached BatchNorm and score-point ReLU, the
+//     consumers of its output channels (with the Linear-after-Flatten
+//     spatial factor), and whether a residual add pins the producer's
+//     channel count (the paper's ResNet rule: only conv1 of each block
+//     is prunable; conv2/projection and anything feeding an identity
+//     shortcut are constrained).
+//
+// Building never throws on an ill-formed model: the walk stops at the
+// first bad edge and records a GraphError naming the offending position,
+// so analyzers can surface it as a diagnostic while derive_units turns
+// it into the legacy std::logic_error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace capr::graph {
+
+/// Node kinds. One per primitive layer (tag strings in to_string match
+/// Layer::kind()) plus kAdd for the synthetic residual-add node.
+enum class Kind {
+  kConv2d,
+  kBatchNorm2d,
+  kReLU,
+  kLeakyReLU,
+  kDropout,
+  kMaxPool2d,
+  kAvgPool2d,
+  kGlobalAvgPool,
+  kFlatten,
+  kLinear,
+  kAdd,
+};
+
+/// Display tag: "conv2d", "batchnorm2d", ..., "add".
+const char* to_string(Kind kind);
+
+using NodeId = int64_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Conv geometry snapshot (valid iff Node::kind == kConv2d).
+struct ConvAttrs {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;
+  int64_t stride = 0;
+  int64_t padding = 0;
+  bool bias = false;
+};
+
+/// Linear geometry snapshot (valid iff Node::kind == kLinear).
+struct LinearAttrs {
+  int64_t in_features = 0;
+  int64_t out_features = 0;
+};
+
+struct Node {
+  NodeId id = kNoNode;
+  Kind kind = Kind::kAdd;
+  std::string path;  // stable flattened position: "7", "12.conv2", "12.add"
+  std::string name;  // builder-assigned layer name ("" if anonymous)
+  const nn::Layer* layer = nullptr;  // backing layer; null for kAdd
+  Shape in_shape;
+  Shape out_shape;
+  int64_t params = 0;  // trainable parameter count of the backing layer
+  std::vector<NodeId> inputs;
+  std::vector<NodeId> outputs;
+  ConvAttrs conv;
+  LinearAttrs linear;
+};
+
+/// One consumer of a producer's output channels. For kLinear consumers,
+/// `spatial` is the flattened features per channel at the Flatten point.
+struct GroupConsumer {
+  NodeId node = kNoNode;
+  int64_t spatial = 1;
+};
+
+/// A channel-coupling group: the conv producing a channel dimension plus
+/// everything structurally tied to it. Groups with residual_constrained
+/// set (or with no consumers, e.g. a trailing conv) are not prunable.
+struct CouplingGroup {
+  std::string name;  // unit display name (producer's, with block fallback)
+  NodeId producer = kNoNode;     // the conv node
+  NodeId bn = kNoNode;           // BatchNorm on the producer output
+  NodeId score_point = kNoNode;  // first ReLU after the producer
+  std::vector<GroupConsumer> consumers;
+  bool residual_constrained = false;  // channels pinned by a residual add
+};
+
+/// First ill-formed edge found while building; mirrors the analyzer's
+/// graph-level diagnostic codes.
+struct GraphError {
+  enum class Code {
+    kShapeMismatch,  // an edge's produced shape violates the consumer
+    kUnknownLayer,   // a layer kind the walk cannot certify
+    kResidualShape,  // residual add with unequal branch shapes
+  };
+  Code code = Code::kShapeMismatch;
+  /// Stable id the offending node would have received (it is not added).
+  NodeId node = kNoNode;
+  std::string path;  // flattened position ("2", "5.conv2", or block path)
+  std::string kind;  // display kind at that position
+  std::string name;  // layer name ("" if anonymous)
+  std::string message;
+
+  /// "layer 7 (conv2d 'features.7')" — compiler-style location.
+  std::string where() const;
+  /// where() + ": " + message.
+  std::string format() const;
+};
+
+class ModuleGraph {
+ public:
+  ModuleGraph() = default;
+
+  /// Builds the graph by walking `net` with `input_shape` ([C, H, W]).
+  /// Never throws on ill-formed structure; check ok()/error().
+  static ModuleGraph build(const nn::Sequential& net, const Shape& input_shape);
+
+  /// Convenience: model.net + model.input_shape. Throws
+  /// std::invalid_argument only when the model has no layer graph.
+  static ModuleGraph build(const nn::Model& model);
+
+  bool ok() const { return !error_.has_value(); }
+  const std::optional<GraphError>& error() const { return error_; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  const std::vector<CouplingGroup>& groups() const { return groups_; }
+
+  const Shape& input_shape() const { return input_; }
+  /// Final activation shape; meaningful only when ok().
+  const Shape& output_shape() const { return output_; }
+
+  /// The node backed by `layer`, or nullptr (kAdd nodes have no layer).
+  const Node* find(const nn::Layer* layer) const;
+
+  /// The coupling group whose producer is `conv`, or nullptr.
+  const CouplingGroup* group_for(const nn::Conv2d* conv) const;
+
+  /// Renders one coupling group as the mutation handle the surgeon
+  /// consumes. The const_casts are sound: a PrunableUnit is inherently a
+  /// handle for editing a model the caller owns mutably; the graph
+  /// itself is never modified.
+  nn::PrunableUnit materialize(const CouplingGroup& group) const;
+
+  /// Graph-derived prunable units, in graph order: every group that is
+  /// neither residual-constrained nor consumer-less. Equivalent to the
+  /// builders' hand annotations (tests assert this on all 9 archs).
+  std::vector<nn::PrunableUnit> prunable_units() const;
+
+ private:
+  friend struct Builder;
+
+  std::vector<Node> nodes_;
+  std::vector<CouplingGroup> groups_;
+  Shape input_;
+  Shape output_;
+  std::optional<GraphError> error_;
+};
+
+}  // namespace capr::graph

@@ -1,0 +1,63 @@
+// nn::summary rendered from the ModuleGraph.
+//
+// The table rows are exactly the graph's nodes in order (one row per
+// primitive layer plus the synthetic ".add" of each residual block), so
+// the summary can never drift from what the other graph consumers see.
+#include "nn/summary.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph.h"
+
+namespace capr::nn {
+
+std::string summary(const Model& model) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok()) {
+    throw std::logic_error("summary: " + g.error()->format());
+  }
+
+  struct Row {
+    std::string name, kind, shape;
+    int64_t params;
+  };
+  std::vector<Row> rows;
+  rows.reserve(g.nodes().size());
+  for (const graph::Node& n : g.nodes()) {
+    rows.push_back({n.name.empty() ? "(anonymous)" : n.name, graph::to_string(n.kind),
+                    to_string(n.out_shape), n.params});
+  }
+
+  size_t wname = 5, wkind = 4, wshape = 12;
+  for (const Row& r : rows) {
+    wname = std::max(wname, r.name.size());
+    wkind = std::max(wkind, r.kind.size());
+    wshape = std::max(wshape, r.shape.size());
+  }
+  std::ostringstream os;
+  os << model.arch << " (input " << to_string(model.input_shape) << ", "
+     << model.num_classes << " classes)\n";
+  os << std::left << std::setw(static_cast<int>(wname) + 2) << "layer"
+     << std::setw(static_cast<int>(wkind) + 2) << "kind"
+     << std::setw(static_cast<int>(wshape) + 2) << "output shape"
+     << "params\n";
+  os << std::string(wname + wkind + wshape + 14, '-') << '\n';
+  int64_t total = 0;
+  for (const Row& r : rows) {
+    os << std::left << std::setw(static_cast<int>(wname) + 2) << r.name
+       << std::setw(static_cast<int>(wkind) + 2) << r.kind
+       << std::setw(static_cast<int>(wshape) + 2) << r.shape << r.params << '\n';
+    total += r.params;
+  }
+  os << std::string(wname + wkind + wshape + 14, '-') << '\n';
+  os << "total parameters: " << total << '\n';
+  os << "prunable units  : " << model.units.size() << " (";
+  int64_t filters = 0;
+  for (const PrunableUnit& u : model.units) filters += u.conv->out_channels();
+  os << filters << " filters)\n";
+  return os.str();
+}
+
+}  // namespace capr::nn

@@ -27,7 +27,9 @@ class BatchNorm2d final : public Layer {
   Param& beta() { return beta_; }
   const Param& beta() const { return beta_; }
   Tensor& running_mean() { return running_mean_; }
+  const Tensor& running_mean() const { return running_mean_; }
   Tensor& running_var() { return running_var_; }
+  const Tensor& running_var() const { return running_var_; }
 
   /// Removes the given channels (surgery companion to Conv2d filter removal).
   void remove_channels(const std::vector<int64_t>& channels);

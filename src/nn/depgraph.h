@@ -21,6 +21,11 @@
 // `derive_units` returns PrunableUnits equivalent to what the builders
 // annotate; tests assert the equivalence on every architecture. It also
 // lets users bring their own Sequential models without hand annotation.
+//
+// Since the ModuleGraph refactor the walk itself lives in src/graph
+// (graph::ModuleGraph records every coupling group, constrained or not);
+// this interface is the thin legacy adapter implemented in
+// src/graph/derive.cpp.
 #pragma once
 
 #include <vector>
@@ -36,7 +41,7 @@ namespace capr::nn {
 /// channels are structurally constrained (feed a residual add) are
 /// excluded. Throws std::logic_error on graphs the analysis cannot prove
 /// safe (unknown layer kinds).
-std::vector<PrunableUnit> derive_units(Sequential& net, const Shape& input_shape);
+std::vector<PrunableUnit> derive_units(const Sequential& net, const Shape& input_shape);
 
 /// Replaces model.units with the derived ones (convenience).
 void annotate_model(Model& model);

@@ -4,6 +4,12 @@
 
 namespace capr::nn {
 
+std::vector<const Param*> Layer::params() const {
+  std::vector<const Param*> out;
+  for (Param* p : const_cast<Layer*>(this)->params()) out.push_back(p);
+  return out;
+}
+
 Tensor Layer::forward_inference(const Tensor& input, InferScratch& scratch) const {
   (void)input;
   (void)scratch;

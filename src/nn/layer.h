@@ -71,6 +71,15 @@ struct Instrument {
     zero_flat_index.reset();
     channel_scale.clear();
   }
+
+  /// Drops the captured (a, dL/da) tensors. Scoring rounds call this
+  /// when they are done reading so capture memory is not retained
+  /// across pruning iterations (reset_interventions deliberately does
+  /// not touch captures — surgery resets masks, not scoring state).
+  void release_captures() {
+    captured_output = Tensor();
+    captured_grad = Tensor();
+  }
 };
 
 /// Base class of all layers.
@@ -98,6 +107,13 @@ class Layer {
 
   /// Trainable parameters of this layer (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Read-only view of the same parameters for const traversals
+  /// (analyzers, serving, the module graph). Logically const: it calls
+  /// the virtual params() on a cast-away-const this, which no shipped
+  /// override mutates. Call through a Layer reference — subclass
+  /// overrides of the virtual hide this overload by name.
+  std::vector<const Param*> params() const;
 
   /// Short kind tag, e.g. "conv2d"; used in reports and checkpoints.
   virtual std::string kind() const = 0;

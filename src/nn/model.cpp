@@ -4,17 +4,18 @@
 
 namespace capr::nn {
 
-std::map<std::string, Tensor> Model::state_dict() {
+std::map<std::string, Tensor> Model::state_dict() const {
   std::map<std::string, Tensor> dict;
-  net->visit([&dict](Layer& l) {
-    for (Param* p : l.params()) {
+  const Sequential& graph = *net;
+  graph.visit([&dict](const Layer& l) {
+    for (const Param* p : l.params()) {
       const std::string key = l.name() + "." + p->name;
       if (!dict.emplace(key, p->value).second) {
         throw std::runtime_error("duplicate state key '" + key +
                                  "'; builder must assign unique layer names");
       }
     }
-    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+    if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&l)) {
       dict.emplace(l.name() + ".running_mean", bn->running_mean());
       dict.emplace(l.name() + ".running_var", bn->running_var());
     }
@@ -52,9 +53,12 @@ void Model::load_state_dict(const std::map<std::string, Tensor>& dict) {
   }
 }
 
-int64_t Model::parameter_count() {
+int64_t Model::parameter_count() const {
   int64_t n = 0;
-  for (Param* p : params()) n += p->value.numel();
+  const Sequential& graph = *net;
+  graph.visit([&n](const Layer& l) {
+    for (const Param* p : l.params()) n += p->value.numel();
+  });
   return n;
 }
 

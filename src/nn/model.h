@@ -58,14 +58,14 @@ class Model {
   std::vector<Param*> params() { return net->params(); }
 
   /// All parameters keyed by "<layer-name>.<param-name>".
-  std::map<std::string, Tensor> state_dict();
+  std::map<std::string, Tensor> state_dict() const;
 
   /// Loads values saved by state_dict; shapes must match exactly.
   /// Throws std::runtime_error on unknown keys or shape mismatches.
   void load_state_dict(const std::map<std::string, Tensor>& dict);
 
   /// Total number of weights (all trainable params).
-  int64_t parameter_count();
+  int64_t parameter_count() const;
 
   /// The unit owning `conv`, or nullptr.
   PrunableUnit* find_unit(const Conv2d* conv);

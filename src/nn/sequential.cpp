@@ -51,6 +51,18 @@ void Sequential::visit(const std::function<void(Layer&)>& fn) {
   }
 }
 
+void Sequential::visit(const std::function<void(const Layer&)>& fn) const {
+  for (const auto& child : children_) {
+    if (const auto* seq = dynamic_cast<const Sequential*>(child.get())) {
+      seq->visit(fn);
+    } else if (const auto* blk = dynamic_cast<const BasicBlock*>(child.get())) {
+      blk->visit(fn);
+    } else {
+      fn(*child);
+    }
+  }
+}
+
 BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride)
     : conv1_(std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1, false)),
       bn1_(std::make_unique<BatchNorm2d>(out_channels)),
@@ -130,6 +142,19 @@ Shape BasicBlock::output_shape(const Shape& in) const {
 }
 
 void BasicBlock::visit(const std::function<void(Layer&)>& fn) {
+  fn(*conv1_);
+  fn(*bn1_);
+  fn(*relu1_);
+  fn(*conv2_);
+  fn(*bn2_);
+  if (proj_conv_) {
+    fn(*proj_conv_);
+    fn(*proj_bn_);
+  }
+  fn(*relu_out_);
+}
+
+void BasicBlock::visit(const std::function<void(const Layer&)>& fn) const {
   fn(*conv1_);
   fn(*bn1_);
   fn(*relu1_);

@@ -34,9 +34,11 @@ class Sequential : public Layer {
 
   size_t size() const { return children_.size(); }
   Layer& child(size_t i) { return *children_.at(i); }
+  const Layer& child(size_t i) const { return *children_.at(i); }
 
   /// Depth-first visit of all non-composite layers.
   void visit(const std::function<void(Layer&)>& fn);
+  void visit(const std::function<void(const Layer&)>& fn) const;
 
  private:
   std::vector<std::unique_ptr<Layer>> children_;
@@ -62,16 +64,25 @@ class BasicBlock final : public Layer {
   Shape output_shape(const Shape& in) const override;
 
   Conv2d& conv1() { return *conv1_; }
+  const Conv2d& conv1() const { return *conv1_; }
   BatchNorm2d& bn1() { return *bn1_; }
+  const BatchNorm2d& bn1() const { return *bn1_; }
   class ReLU& relu1() { return *relu1_; }
+  const class ReLU& relu1() const { return *relu1_; }
   Conv2d& conv2() { return *conv2_; }
+  const Conv2d& conv2() const { return *conv2_; }
   BatchNorm2d& bn2() { return *bn2_; }
+  const BatchNorm2d& bn2() const { return *bn2_; }
   bool has_projection() const { return proj_conv_ != nullptr; }
   Conv2d* proj_conv() { return proj_conv_.get(); }
+  const Conv2d* proj_conv() const { return proj_conv_.get(); }
   BatchNorm2d* proj_bn() { return proj_bn_.get(); }
+  const BatchNorm2d* proj_bn() const { return proj_bn_.get(); }
   class ReLU& relu_out() { return *relu_out_; }
+  const class ReLU& relu_out() const { return *relu_out_; }
 
   void visit(const std::function<void(Layer&)>& fn);
+  void visit(const std::function<void(const Layer&)>& fn) const;
 
  private:
   std::unique_ptr<Conv2d> conv1_;

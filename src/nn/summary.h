@@ -8,8 +8,9 @@
 namespace capr::nn {
 
 /// Keras-style per-layer table: name, kind, output shape, parameters —
-/// plus totals and the list of prunable units. Shapes are computed by a
-/// probe walk from model.input_shape.
-std::string summary(Model& model);
+/// plus totals and the list of prunable units. Rows come straight from
+/// the graph::ModuleGraph nodes (implemented in src/graph/summary.cpp);
+/// throws std::logic_error when the model's graph is ill-formed.
+std::string summary(const Model& model);
 
 }  // namespace capr::nn

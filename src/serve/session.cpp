@@ -4,12 +4,22 @@
 #include <utility>
 
 #include "core/surgeon.h"
+#include "graph/graph.h"
 #include "tensor/serialize.h"
 
 namespace capr::serve {
 
 InferenceSession::InferenceSession(nn::Model model) : model_(std::move(model)) {
   if (!model_.net) throw std::invalid_argument("InferenceSession: model has no network");
+  // Admission check: a session only ever serves a model whose graph is
+  // well-formed. Checkpoint replay (from_checkpoint -> remove_filters)
+  // resolves prunes through the same ModuleGraph, so anything that
+  // survives to this point is certified end to end.
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model_);
+  if (!g.ok()) {
+    throw std::invalid_argument("InferenceSession: model graph rejected: " +
+                                g.error()->format());
+  }
 }
 
 InferenceSession InferenceSession::from_checkpoint(const std::string& arch,

@@ -1,0 +1,184 @@
+// ModuleGraph IR: golden topology dumps, build determinism, and
+// equivalence of graph-derived units with both the builders' hand
+// annotations and the nn::derive_units facade.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/dump.h"
+#include "models/builders.h"
+#include "nn/depgraph.h"
+
+namespace capr::graph {
+namespace {
+
+const std::vector<std::string>& all_archs() {
+  static const std::vector<std::string> archs = {
+      "vgg11",    "vgg13",    "vgg16",    "vgg19", "resnet20",
+      "resnet32", "resnet44", "resnet56", "tiny"};
+  return archs;
+}
+
+/// The exact configuration the committed golden dumps were generated
+/// with (the models::BuildConfig defaults, i.e. a bare `capr-analyze
+/// --arch <name> --dump-graph ...` invocation).
+nn::Model golden_model(const std::string& arch) {
+  return models::make_model(arch, models::BuildConfig{});
+}
+
+std::string read_golden(const std::string& arch) {
+  const std::string path = std::string(CAPR_GOLDEN_GRAPH_DIR) + "/" + arch + ".json";
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "missing golden dump " << path
+                  << " (regenerate with: capr-analyze --arch " << arch
+                  << " --dump-graph " << path << ")";
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ArchSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArchSweep, MatchesGoldenJson) {
+  const nn::Model m = golden_model(GetParam());
+  const ModuleGraph g = ModuleGraph::build(m);
+  ASSERT_TRUE(g.ok()) << g.error()->format();
+  EXPECT_EQ(to_json(g, m.arch), read_golden(GetParam()));
+}
+
+TEST_P(ArchSweep, DumpIsBitwiseStable) {
+  const nn::Model a = golden_model(GetParam());
+  const nn::Model b = golden_model(GetParam());
+  EXPECT_EQ(to_json(ModuleGraph::build(a), a.arch),
+            to_json(ModuleGraph::build(b), b.arch));
+}
+
+// graph.prunable_units() == builders' hand annotations == legacy
+// nn::derive_units, pointer-for-pointer. Three independent derivations
+// of the paper's coupling rules must agree before any of them is
+// allowed to drive surgery.
+TEST_P(ArchSweep, UnitsMatchAnnotationsAndDerive) {
+  nn::Model m = golden_model(GetParam());
+  const ModuleGraph g = ModuleGraph::build(m);
+  ASSERT_TRUE(g.ok()) << g.error()->format();
+  const std::vector<nn::PrunableUnit> from_graph = g.prunable_units();
+  const std::vector<nn::PrunableUnit> from_derive =
+      nn::derive_units(*m.net, m.input_shape);
+
+  ASSERT_EQ(from_graph.size(), m.units.size());
+  ASSERT_EQ(from_derive.size(), m.units.size());
+  for (size_t u = 0; u < m.units.size(); ++u) {
+    for (const nn::PrunableUnit* got : {&from_graph[u], &from_derive[u]}) {
+      EXPECT_EQ(got->name, m.units[u].name) << "unit " << u;
+      EXPECT_EQ(got->conv, m.units[u].conv) << "unit " << u;
+      EXPECT_EQ(got->bn, m.units[u].bn) << "unit " << u;
+      EXPECT_EQ(got->score_point, m.units[u].score_point) << "unit " << u;
+      ASSERT_EQ(got->consumers.size(), m.units[u].consumers.size()) << "unit " << u;
+      for (size_t c = 0; c < got->consumers.size(); ++c) {
+        EXPECT_EQ(got->consumers[c].conv, m.units[u].consumers[c].conv);
+        EXPECT_EQ(got->consumers[c].linear, m.units[u].consumers[c].linear);
+        EXPECT_EQ(got->consumers[c].spatial, m.units[u].consumers[c].spatial);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, ArchSweep, ::testing::ValuesIn(all_archs()));
+
+TEST(GraphTest, Resnet20CouplingStructure) {
+  const nn::Model m = golden_model("resnet20");
+  const ModuleGraph g = ModuleGraph::build(m);
+  ASSERT_TRUE(g.ok()) << g.error()->format();
+
+  // The paper's ResNet rule: only conv1 of each BasicBlock is prunable
+  // (9 blocks in resnet20); conv2/projection and the stem conv feeding
+  // the first identity shortcut are channel-pinned by residual adds.
+  EXPECT_EQ(g.prunable_units().size(), 9u);
+  for (const CouplingGroup& grp : g.groups()) {
+    const Node& producer = g.node(grp.producer);
+    ASSERT_EQ(producer.kind, Kind::kConv2d) << grp.name;
+    const CouplingGroup* looked_up =
+        g.group_for(static_cast<const nn::Conv2d*>(producer.layer));
+    EXPECT_EQ(looked_up, &grp) << grp.name;
+  }
+  // The stem conv's group is the first one and must be constrained.
+  ASSERT_FALSE(g.groups().empty());
+  EXPECT_TRUE(g.groups().front().residual_constrained);
+}
+
+TEST(GraphTest, NodeEdgesAreConsistent) {
+  const nn::Model m = golden_model("resnet20");
+  const ModuleGraph g = ModuleGraph::build(m);
+  ASSERT_TRUE(g.ok());
+  for (const Node& n : g.nodes()) {
+    EXPECT_EQ(&g.node(n.id), &n);
+    for (NodeId in : n.inputs) {
+      const auto& outs = g.node(in).outputs;
+      EXPECT_NE(std::find(outs.begin(), outs.end(), n.id), outs.end())
+          << "edge " << in << " -> " << n.id << " not mirrored";
+    }
+    if (n.kind == Kind::kAdd) {
+      EXPECT_EQ(n.inputs.size(), 2u) << n.path;
+      EXPECT_EQ(n.layer, nullptr) << n.path;
+    } else {
+      ASSERT_NE(n.layer, nullptr) << n.path;
+      EXPECT_EQ(g.find(n.layer), &n) << n.path;
+    }
+  }
+}
+
+TEST(GraphTest, IllFormedModelRecordsErrorInsteadOfThrowing) {
+  nn::Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<nn::Sequential>();
+  m.net->add(std::make_unique<nn::Conv2d>(1, 2, 3, 1, 1, false));
+  m.net->add(std::make_unique<nn::ReLU>());
+  m.net->add(std::make_unique<nn::Conv2d>(3, 2, 3, 1, 1, false))->set_name("bad");
+  const ModuleGraph g = ModuleGraph::build(*m.net, m.input_shape);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.error()->code, GraphError::Code::kShapeMismatch);
+  EXPECT_EQ(g.error()->path, "2");
+  EXPECT_EQ(g.error()->name, "bad");
+  EXPECT_NE(g.error()->format().find("expects C_in=3"), std::string::npos);
+  // The facade converts the recorded error into the legacy exception.
+  EXPECT_THROW(nn::derive_units(*m.net, m.input_shape), std::logic_error);
+  // Nodes built before the bad edge are preserved for diagnostics.
+  EXPECT_EQ(g.nodes().size(), 2u);
+}
+
+TEST(GraphTest, ErrorDumpCarriesErrorObject) {
+  nn::Model m;
+  m.input_shape = {1, 4, 4};
+  m.net = std::make_unique<nn::Sequential>();
+  m.net->add(std::make_unique<nn::Linear>(5, 2));
+  const ModuleGraph g = ModuleGraph::build(*m.net, m.input_shape);
+  ASSERT_FALSE(g.ok());
+  const std::string json = to_json(g, "adhoc");
+  EXPECT_NE(json.find("\"error\""), std::string::npos);
+  EXPECT_NE(json.find("without Flatten"), std::string::npos);
+}
+
+TEST(GraphTest, DotDumpIsWellFormed) {
+  const nn::Model m = golden_model("tiny");
+  const ModuleGraph g = ModuleGraph::build(m);
+  ASSERT_TRUE(g.ok());
+  const std::string dot = to_dot(g, m.arch);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  for (const Node& n : g.nodes()) {
+    EXPECT_NE(dot.find(n.path), std::string::npos) << n.path;
+  }
+}
+
+}  // namespace
+}  // namespace capr::graph

@@ -172,6 +172,22 @@ TEST(ImportanceTest, HelperAccessors) {
   EXPECT_NEAR(means[0], want, 1e-5f);
 }
 
+TEST(ImportanceTest, EvaluateReleasesCapturedTensors) {
+  // Captured (a, dL/da) tensors for a whole batch dominate peak memory;
+  // every scoring round must drop them on the way out.
+  Fixture f;
+  for (ScoreMode mode : {ScoreMode::kTaylor, ScoreMode::kExactZeroOut}) {
+    ImportanceEvaluator eval(ImportanceConfig{.images_per_class = 2, .mode = mode});
+    eval.evaluate(f.model, f.data.train);
+    for (const auto& u : f.model.units) {
+      const nn::Instrument& inst = u.score_point->instrument();
+      EXPECT_FALSE(inst.capture) << u.name;
+      EXPECT_TRUE(inst.captured_output.empty()) << u.name;
+      EXPECT_TRUE(inst.captured_grad.empty()) << u.name;
+    }
+  }
+}
+
 TEST(ImportanceTest, ErrorsOnBadInput) {
   Fixture f;
   ImportanceEvaluator eval;

@@ -4,6 +4,8 @@
 //   capr-analyze --arch vgg16                       # certify the graph
 //   capr-analyze --arch resnet20 --plan plan.txt    # certify a plan
 //   capr-analyze --arch vgg16 --checkpoint m.ckpt --plan plan.txt --strict
+//   capr-analyze --arch resnet20 --dump-graph -     # ModuleGraph as JSON
+//   capr-analyze --arch resnet20 --dump-dot g.dot   # ModuleGraph as DOT
 //
 // A plan file holds one unit per line: the unit index followed by the
 // filter indices to remove ('#' starts a comment):
@@ -26,6 +28,8 @@
 
 #include "analysis/analyzer.h"
 #include "core/surgeon.h"
+#include "graph/dump.h"
+#include "graph/graph.h"
 #include "models/builders.h"
 #include "tensor/serialize.h"
 
@@ -39,6 +43,8 @@ struct Options {
   capr::core::PruneStrategyConfig strategy{};
   bool with_strategy = false;  // enable cap/floor checks
   bool trace = false;          // print the shape propagation table
+  std::string dump_graph;      // ModuleGraph JSON target ('-' = stdout)
+  std::string dump_dot;        // ModuleGraph DOT target ('-' = stdout)
 };
 
 void usage(std::ostream& os) {
@@ -55,7 +61,9 @@ void usage(std::ostream& os) {
         "  --max-fraction <f>    global per-iteration cap (default 0.10, with --strict)\n"
         "  --layer-fraction <f>  per-layer per-iteration cap (default 0.5, with --strict)\n"
         "  --min-filters <n>     per-layer floor (default 2, with --strict)\n"
-        "  --trace               print the certified shape propagation table\n";
+        "  --trace               print the certified shape propagation table\n"
+        "  --dump-graph <file>   write the ModuleGraph as JSON ('-' for stdout)\n"
+        "  --dump-dot <file>     write the ModuleGraph as Graphviz DOT ('-' for stdout)\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -90,6 +98,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.with_strategy = true;
     } else if (arg == "--trace") {
       opts.trace = true;
+    } else if (arg == "--dump-graph") {
+      opts.dump_graph = value();
+    } else if (arg == "--dump-dot") {
+      opts.dump_dot = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return false;
@@ -131,6 +143,17 @@ std::vector<capr::core::UnitSelection> read_plan(const std::string& path) {
   return plan;
 }
 
+void write_output(const std::string& target, const std::string& content) {
+  if (target == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(target);
+  if (!out) throw std::runtime_error("cannot open '" + target + "' for writing");
+  out << content;
+  if (!out) throw std::runtime_error("failed writing '" + target + "'");
+}
+
 void print_trace(const capr::analysis::ShapeTrace& trace) {
   std::cout << "shape propagation (" << trace.steps.size() << " certified edges):\n";
   for (const capr::analysis::ShapeStep& s : trace.steps) {
@@ -156,6 +179,15 @@ int main(int argc, char** argv) {
     capr::nn::Model model = capr::models::make_model(opts.arch, opts.build);
     if (!opts.checkpoint.empty()) {
       capr::core::load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
+    }
+
+    if (!opts.dump_graph.empty() || !opts.dump_dot.empty()) {
+      const capr::graph::ModuleGraph g = capr::graph::ModuleGraph::build(model);
+      if (!opts.dump_graph.empty()) write_output(opts.dump_graph, to_json(g, model.arch));
+      if (!opts.dump_dot.empty()) write_output(opts.dump_dot, to_dot(g, model.arch));
+      // Dumping to stdout is a machine-readable mode: suppress the human
+      // report so the stream stays parseable, and exit on graph health.
+      if (opts.dump_graph == "-" || opts.dump_dot == "-") return g.ok() ? 0 : 1;
     }
 
     if (opts.trace) print_trace(capr::analysis::infer_shapes(model));
