@@ -39,9 +39,9 @@ namespace {
 using namespace capr;
 
 struct ServeSpec {
-  std::string name;     // e.g. "serve/resnet20/dense/tiled/w1/b8"
+  std::string name;     // e.g. "serve/resnet20/pruned+compiled/tiled/w1/b8"
   std::string arch;     // builder name
-  std::string variant;  // "dense" | "pruned"
+  std::string variant;  // "dense" | "pruned" | "dense+compiled" | "pruned+compiled"
   std::string kernel;   // "reference" | "tiled"
   int workers = 1;
   size_t max_batch = 1;
@@ -60,12 +60,21 @@ constexpr int kBurst = 32;  // requests submitted per benchmark iteration
 
 /// Builds the spec's model: random-initialised weights (throughput does
 /// not depend on the values), with half of every prunable unit's filters
-/// removed for the "pruned" variant.
+/// removed for the "pruned" variants. Plain "dense"/"pruned" rows pin
+/// the interpreted session so they stay comparable across baselines; a
+/// "+compiled" suffix serves the fully-optimised ExecutionPlan (BN fold
+/// + epilogue fusion + weight pre-packing) — the compiled-vs-interpreted
+/// delta at equal sparsity is the graph-compiler headline number.
 std::shared_ptr<const serve::InferenceSession> make_session(const ServeSpec& spec) {
   models::BuildConfig cfg;
   cfg.init_seed = 7;
   nn::Model model = models::make_model(spec.arch, cfg);
-  if (spec.variant == "pruned") {
+  const std::string suffix = "+compiled";
+  const bool compiled = spec.variant.size() > suffix.size() &&
+                        spec.variant.compare(spec.variant.size() - suffix.size(),
+                                             suffix.size(), suffix) == 0;
+  const bool pruned = spec.variant.rfind("pruned", 0) == 0;
+  if (pruned) {
     for (size_t u = 0; u < model.units.size(); ++u) {
       const int64_t have = model.units[u].conv->out_channels();
       std::vector<int64_t> drop;
@@ -73,7 +82,10 @@ std::shared_ptr<const serve::InferenceSession> make_session(const ServeSpec& spe
       if (!drop.empty()) core::remove_filters(model, u, drop);
     }
   }
-  return std::make_shared<const serve::InferenceSession>(std::move(model));
+  serve::SessionOptions opts;
+  opts.mode = compiled ? serve::SessionOptions::Mode::kCompiledFolded
+                       : serve::SessionOptions::Mode::kInterpreted;
+  return std::make_shared<const serve::InferenceSession>(std::move(model), opts);
 }
 
 void run_serve(benchmark::State& state, const ServeSpec spec) {
@@ -147,9 +159,10 @@ std::vector<ServeSpec> register_all() {
     benchmark::RegisterBenchmark(spec.name.c_str(), run_serve, spec)->UseRealTime();
     specs.push_back(std::move(spec));
   };
-  // Full grid on the resnet20 builder (the batched-vs-unbatched QPS
-  // comparison the acceptance gate reads), plus a vgg11 column.
-  for (const char* variant : {"dense", "pruned"}) {
+  // Full grid on the resnet20 builder (the batched-vs-unbatched and
+  // compiled-vs-interpreted QPS comparisons the acceptance gates read),
+  // plus a vgg11 column.
+  for (const char* variant : {"dense", "pruned", "dense+compiled", "pruned+compiled"}) {
     for (const char* kernel : {"reference", "tiled"}) {
       for (int workers : {1, 4}) {
         for (size_t max_batch : {size_t{1}, size_t{8}}) {
@@ -158,7 +171,7 @@ std::vector<ServeSpec> register_all() {
       }
     }
   }
-  for (const char* variant : {"dense", "pruned"}) {
+  for (const char* variant : {"dense", "pruned", "dense+compiled", "pruned+compiled"}) {
     for (size_t max_batch : {size_t{1}, size_t{8}}) {
       add("vgg11", variant, "tiled", 1, max_batch);
     }

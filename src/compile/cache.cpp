@@ -1,0 +1,141 @@
+#include "compile/cache.h"
+
+#include <cstring>
+
+#include "compile/compiler.h"
+#include "nn/batchnorm.h"
+
+namespace capr::compile {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_bytes(uint64_t& h, const void* p, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void mix_i64(uint64_t& h, int64_t v) { mix_bytes(h, &v, sizeof(v)); }
+
+void mix_u64(uint64_t& h, uint64_t v) { mix_bytes(h, &v, sizeof(v)); }
+
+void mix_str(uint64_t& h, const std::string& s) {
+  mix_i64(h, static_cast<int64_t>(s.size()));
+  mix_bytes(h, s.data(), s.size());
+}
+
+void mix_shape(uint64_t& h, const Shape& s) {
+  mix_i64(h, static_cast<int64_t>(s.size()));
+  for (int64_t d : s) mix_i64(h, d);
+}
+
+void mix_floats(uint64_t& h, const float* p, int64_t n) {
+  mix_i64(h, n);
+  mix_bytes(h, p, static_cast<size_t>(n) * sizeof(float));
+}
+
+}  // namespace
+
+GraphHash hash_graph(const graph::ModuleGraph& g) {
+  GraphHash out;
+
+  // Structural half: shapes, kinds, attributes, edges. No float bytes,
+  // so the value is platform-stable and safe to commit in goldens.
+  uint64_t s = kFnvOffset;
+  mix_shape(s, g.input_shape());
+  mix_i64(s, static_cast<int64_t>(g.nodes().size()));
+  for (const graph::Node& node : g.nodes()) {
+    mix_i64(s, static_cast<int64_t>(node.kind));
+    mix_str(s, node.path);
+    mix_shape(s, node.in_shape);
+    mix_shape(s, node.out_shape);
+    mix_i64(s, node.conv.in_channels);
+    mix_i64(s, node.conv.out_channels);
+    mix_i64(s, node.conv.kernel);
+    mix_i64(s, node.conv.stride);
+    mix_i64(s, node.conv.padding);
+    mix_i64(s, node.conv.bias ? 1 : 0);
+    mix_i64(s, node.linear.in_features);
+    mix_i64(s, node.linear.out_features);
+    mix_i64(s, static_cast<int64_t>(node.inputs.size()));
+    for (graph::NodeId id : node.inputs) mix_i64(s, id);
+  }
+  out.structural = s;
+
+  // Weight half: every parameter's raw bytes plus the BatchNorm running
+  // statistics (not Params, but they shape inference output).
+  uint64_t w = kFnvOffset;
+  for (const graph::Node& node : g.nodes()) {
+    if (node.layer == nullptr) continue;
+    const nn::Layer& layer = *node.layer;
+    for (const nn::Param* p : layer.params()) {
+      mix_shape(w, p->value.shape());
+      mix_floats(w, p->value.data(), p->value.numel());
+    }
+    if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(node.layer)) {
+      mix_floats(w, bn->running_mean().data(), bn->running_mean().numel());
+      mix_floats(w, bn->running_var().data(), bn->running_var().numel());
+      const float eps = bn->eps();
+      mix_bytes(w, &eps, sizeof(eps));
+    }
+  }
+  out.weights = w;
+  return out;
+}
+
+uint64_t plan_key(const GraphHash& h, const CompileOptions& opts) {
+  uint64_t key = kFnvOffset;
+  mix_u64(key, h.structural);
+  mix_u64(key, h.weights);
+  mix_u64(key, opts.bits());
+  return key;
+}
+
+std::shared_ptr<const ExecutionPlan> PlanCache::find(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::insert(uint64_t key, std::shared_ptr<const ExecutionPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[key] = std::move(plan);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+PlanCache& global_plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace capr::compile

@@ -1,0 +1,69 @@
+// Plan caching: deterministic graph hashing plus a keyed plan store.
+//
+// A compiled ExecutionPlan is specialised to (structure, weights,
+// compile options, per-image input shape). The hash splits the first two
+// so tools can report a platform-stable structural identity (no float
+// bytes) separately from the weight identity used for cache keying:
+//
+//   - `structural` covers the per-image input shape and, per node in id
+//     order, the kind, path, resolved shapes, conv/linear attributes and
+//     input edges. No floating-point bytes, so the value is stable
+//     across machines and appears in the plan-dump goldens.
+//   - `weights` covers every parameter tensor's raw float bytes (via the
+//     const params() traversal) plus BatchNorm running statistics and
+//     eps. Pruning surgery changes both halves (shapes move), while a
+//     fine-tuning step changes only `weights` — either way the combined
+//     key moves and a stale plan can never be served.
+//
+// Both are FNV-1a 64; plan_key() mixes them with CompileOptions::bits().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/graph.h"
+
+namespace capr::compile {
+
+class ExecutionPlan;
+struct CompileOptions;
+
+struct GraphHash {
+  uint64_t structural = 0;
+  uint64_t weights = 0;
+};
+
+/// Hashes a well-formed graph (callers check g.ok() first; an ill-formed
+/// graph hashes whatever prefix was built, which is fine because it is
+/// never compiled or cached).
+GraphHash hash_graph(const graph::ModuleGraph& g);
+
+/// The cache key for a (graph, options) pair.
+uint64_t plan_key(const GraphHash& h, const CompileOptions& opts);
+
+/// Thread-safe key -> plan store. Only shareable() plans (no interpreted
+/// fallback steps, hence no layer pointers) are ever inserted, so a hit
+/// may be served to any model with the same structure and weights.
+class PlanCache {
+ public:
+  std::shared_ptr<const ExecutionPlan> find(uint64_t key);
+  void insert(uint64_t key, std::shared_ptr<const ExecutionPlan> plan);
+
+  size_t size() const;
+  void clear();
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const ExecutionPlan>> plans_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Process-wide cache used by serving sessions.
+PlanCache& global_plan_cache();
+
+}  // namespace capr::compile

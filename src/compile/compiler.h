@@ -1,0 +1,88 @@
+// The graph compiler: ModuleGraph -> ExecutionPlan.
+//
+// compile() runs a fixed pass pipeline (HACKING.md "Graph compiler"
+// documents each pass and its legality rules):
+//
+//   1. lower            — one Step per graph node over numbered value
+//                         slots; Dropout (inference identity) is elided
+//                         by slot aliasing; any node whose layer has
+//                         active read-only interventions (channel_scale
+//                         or zero_flat_index) lowers to a kInterpreted
+//                         fallback step so compiled serving honours them.
+//   2. fold_batchnorm   — folds a BatchNorm into its single-producer
+//                         conv's weights/bias (double-precision fold;
+//                         the one eps-bounded pass). [opts.fold_batchnorm]
+//   3. fuse_epilogues   — merges a ReLU/LeakyReLU step into its single
+//                         producer's write-back. Exact. [opts.fuse_epilogues]
+//   4. prepack_weights  — packs conv filter matrices into tiled A-strips
+//                         and the linear weight into B-panels at build
+//                         time. Exact. [opts.prepack_weights]
+//   5. finalize         — slot count, output slot, stats.
+//
+// Compilation never throws on model problems: an ill-formed graph (or an
+// empty one) produces a null plan plus recorded CompileError values
+// naming the offending node, mirroring GraphError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/cache.h"
+#include "compile/plan.h"
+#include "graph/graph.h"
+
+namespace capr::compile {
+
+/// Pass toggles. Defaults enable every exact pass AND the eps-bounded
+/// BN fold; serving modes that need the bitwise interpreted contract
+/// compile with fold_batchnorm = false (serve/session.h).
+struct CompileOptions {
+  bool fold_batchnorm = true;
+  bool fuse_epilogues = true;
+  bool prepack_weights = true;
+
+  /// Stable encoding mixed into the plan cache key.
+  uint64_t bits() const {
+    return (fold_batchnorm ? 1u : 0u) | (fuse_epilogues ? 2u : 0u) |
+           (prepack_weights ? 4u : 0u);
+  }
+};
+
+/// A recorded compilation failure (never thrown).
+struct CompileError {
+  enum class Code {
+    kIllFormedGraph,  // ModuleGraph::build stopped at a bad edge
+    kEmptyGraph,      // no nodes to compile
+  };
+  Code code = Code::kIllFormedGraph;
+  graph::NodeId node = graph::kNoNode;
+  std::string path;     // flattened position of the offending node
+  std::string message;  // human-readable diagnostic
+
+  /// "node 7 (12.conv2): <message>"-style rendering.
+  std::string format() const;
+};
+
+struct CompileResult {
+  /// Null when compilation failed (see errors). Shared so sessions and
+  /// the cache can hold the same immutable plan.
+  std::shared_ptr<const ExecutionPlan> plan;
+  std::vector<CompileError> errors;
+  /// Nodes that fell back to per-node interpretation (interventions).
+  int interpreted_nodes = 0;
+  bool cache_hit = false;
+  uint64_t key = 0;  // plan_key(hash_graph(g), opts)
+};
+
+/// Compiles a built graph. `g` must outlive nothing: the plan copies all
+/// weights it needs, except for kInterpreted fallback steps which pin the
+/// backing model (plan->shareable() reports which case applies).
+CompileResult compile(const graph::ModuleGraph& g, const CompileOptions& opts = {});
+
+/// compile() with a cache lookup first. Only shareable plans are stored.
+CompileResult compile_cached(const graph::ModuleGraph& g, const CompileOptions& opts,
+                             PlanCache& cache);
+
+}  // namespace capr::compile

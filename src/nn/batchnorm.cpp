@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/conv2d.h"  // normalize_indices / surviving_indices
+#include "nn/eval_kernels.h"
 
 namespace capr::nn {
 
@@ -80,21 +81,12 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
     cached_n_ = n;
     cached_h_ = h;
     cached_w_ = w;
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
-      const float mean = running_mean_[ch];
-      const float g = gamma_.value[ch], b = beta_.value[ch];
-      inv_std_[ch] = inv;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = input.data() + (i * c + ch) * plane;
-        float* xh = xhat_.data() + (i * c + ch) * plane;
-        float* o = out.data() + (i * c + ch) * plane;
-        for (int64_t k = 0; k < plane; ++k) {
-          xh[k] = (p[k] - mean) * inv;
-          o[k] = g * xh[k] + b;
-        }
-      }
-    }
+    // Shared out-of-line eval kernel (eval_kernels.h): the one compiled
+    // body that forward_inference and the compiled plan also run, so all
+    // three stay bitwise identical under per-TU FP contraction.
+    bn_eval(input.data(), out.data(), xhat_.data(), inv_std_.data(), n, c, plane,
+            gamma_.value.data(), beta_.value.data(), running_mean_.data(), running_var_.data(),
+            eps_);
   }
   cached_training_ = training;
   apply_output_instrumentation(out);
@@ -110,21 +102,10 @@ Tensor BatchNorm2d::forward_inference(const Tensor& input, InferScratch& scratch
   const int64_t n = input.dim(0), c = channels_, h = input.dim(2), w = input.dim(3);
   const int64_t plane = h * w;
   Tensor out({n, c, h, w});
-  // Mirrors the eval branch of forward() statement-for-statement (local
-  // xh stands in for the xhat_ cache) so logits stay bitwise identical.
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
-    const float mean = running_mean_[ch];
-    const float g = gamma_.value[ch], b = beta_.value[ch];
-    for (int64_t i = 0; i < n; ++i) {
-      const float* p = input.data() + (i * c + ch) * plane;
-      float* o = out.data() + (i * c + ch) * plane;
-      for (int64_t k = 0; k < plane; ++k) {
-        const float xh = (p[k] - mean) * inv;
-        o[k] = g * xh + b;
-      }
-    }
-  }
+  // Same shared eval kernel as the eval branch of forward() (no cache
+  // outputs), so logits stay bitwise identical across the three paths.
+  bn_eval(input.data(), out.data(), nullptr, nullptr, n, c, plane, gamma_.value.data(),
+          beta_.value.data(), running_mean_.data(), running_var_.data(), eps_);
   apply_inference_interventions(out);
   return out;
 }

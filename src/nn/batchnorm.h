@@ -22,6 +22,7 @@ class BatchNorm2d final : public Layer {
   Shape output_shape(const Shape& in) const override;
 
   int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
   Param& gamma() { return gamma_; }
   const Param& gamma() const { return gamma_; }
   Param& beta() { return beta_; }

@@ -35,6 +35,7 @@ class Conv2d final : public Layer {
   Param& weight() { return weight_; }
   const Param& weight() const { return weight_; }
   Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
 
   /// Weight viewed as the [out_channels, in_channels*k*k] filter matrix.
   Tensor filter_matrix() const;

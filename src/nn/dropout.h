@@ -42,6 +42,8 @@ class LeakyReLU final : public Layer {
   std::string kind() const override { return "leakyrelu"; }
   Shape output_shape(const Shape& in) const override { return in; }
 
+  float slope() const { return slope_; }
+
  private:
   float slope_;
   Tensor cached_input_;
@@ -58,6 +60,9 @@ class AvgPool2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "avgpool2d"; }
   Shape output_shape(const Shape& in) const override;
+
+  int64_t window() const { return window_; }
+  int64_t stride() const { return stride_; }
 
  private:
   int64_t window_, stride_;

@@ -1,0 +1,35 @@
+// Built with -ffp-contract=off: see eval_kernels.h for why.
+#include "nn/eval_kernels.h"
+
+#include <cmath>
+
+namespace capr::nn {
+
+void bn_eval(const float* in, float* out, float* xhat, float* inv_std_out, int64_t n, int64_t c,
+             int64_t plane, const float* gamma, const float* beta, const float* mean,
+             const float* var, float eps, EvalAct act, float slope) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv = 1.0f / std::sqrt(var[ch] + eps);
+    const float m = mean[ch];
+    const float g = gamma[ch], b = beta[ch];
+    if (inv_std_out != nullptr) inv_std_out[ch] = inv;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* p = in + (i * c + ch) * plane;
+      float* o = out + (i * c + ch) * plane;
+      float* xh_row = xhat != nullptr ? xhat + (i * c + ch) * plane : nullptr;
+      for (int64_t k = 0; k < plane; ++k) {
+        const float xh = (p[k] - m) * inv;
+        if (xh_row != nullptr) xh_row[k] = xh;
+        float v = g * xh + b;
+        if (act == EvalAct::kReLU) {
+          v = v > 0.0f ? v : 0.0f;
+        } else if (act == EvalAct::kLeakyReLU) {
+          v = v > 0.0f ? v : slope * v;
+        }
+        o[k] = v;
+      }
+    }
+  }
+}
+
+}  // namespace capr::nn

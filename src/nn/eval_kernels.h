@@ -1,0 +1,42 @@
+// Shared inference-eval kernels with pinned floating-point semantics.
+//
+// The compiled execution plan (src/compile) promises bitwise identity
+// with the interpreted layer-by-layer forward. That promise dies the
+// moment the same arithmetic is compiled twice in different translation
+// units: at -O3 with default -ffp-contract the expression `g * xh + b`
+// may become an FMA in one TU and a mul+add in another, and the results
+// differ in the last ulp. Every expression with a contractable mul+add
+// chain that both paths evaluate therefore lives HERE, out of line, in
+// a TU built with -ffp-contract=off (see src/nn/CMakeLists.txt):
+// BatchNorm2d's eval branch, its stateless forward_inference, and the
+// compiled BatchNorm step all call the one compiled body below.
+// (Single-operation element loops — ReLU compares, adds, pooling
+// accumulations — cannot contract and may be re-implemented freely.)
+#pragma once
+
+#include <cstdint>
+
+namespace capr::nn {
+
+/// Activation fused into an eval kernel's write-back. Applying the
+/// activation to the value before the store is bitwise identical to
+/// storing first and activating in a second pass: ReLU/LeakyReLU read
+/// one already-rounded float and never introduce a new rounding of the
+/// producer's arithmetic.
+enum class EvalAct { kNone, kReLU, kLeakyReLU };
+
+/// Eval-mode batch normalisation over NCHW data, statement-for-statement
+/// the eval branch of BatchNorm2d::forward:
+///
+///   inv = 1 / sqrt(var[ch] + eps)
+///   xh  = (x - mean[ch]) * inv
+///   y   = gamma[ch] * xh + beta[ch]     (then optional activation)
+///
+/// `xhat` (size n*c*plane) and `inv_std_out` (size c) are optional
+/// outputs for the backward caches; pass nullptr when not needed.
+/// `in` and `out` may not alias.
+void bn_eval(const float* in, float* out, float* xhat, float* inv_std_out, int64_t n, int64_t c,
+             int64_t plane, const float* gamma, const float* beta, const float* mean,
+             const float* var, float eps, EvalAct act = EvalAct::kNone, float slope = 0.0f);
+
+}  // namespace capr::nn

@@ -32,6 +32,16 @@ namespace capr::nn {
 /// concurrent caller — a serving worker, a benchmark thread — owns one.
 struct InferScratch {
   ScratchArena arena;
+
+  /// Value slots owned by the compiled execution path (src/compile): one
+  /// Tensor per ExecutionPlan slot, re-shaped in place (Tensor::reset)
+  /// every run so the steady-state hot loop reuses capacity and performs
+  /// no allocation. Unused (empty) on the interpreted path.
+  std::vector<Tensor> slots;
+
+  /// Owning copy of the last compiled result for callers that need a
+  /// Tensor value rather than a slot reference (ExecutionPlan::run).
+  Tensor result;
 };
 
 /// A trainable parameter: value plus accumulated gradient.
@@ -126,6 +136,7 @@ class Layer {
   void set_name(std::string n) { name_ = std::move(n); }
 
   Instrument& instrument() { return instrument_; }
+  const Instrument& instrument() const { return instrument_; }
 
  protected:
   Layer() = default;

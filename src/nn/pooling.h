@@ -19,6 +19,9 @@ class MaxPool2d final : public Layer {
   std::string kind() const override { return "maxpool2d"; }
   Shape output_shape(const Shape& in) const override;
 
+  int64_t window() const { return window_; }
+  int64_t stride() const { return stride_; }
+
  private:
   int64_t window_, stride_;
   Shape cached_in_shape_;

@@ -150,6 +150,12 @@ void InferenceServer::worker_loop() {
   // thread pool (and results stay on the deterministic serial path).
   SerialRegionGuard serial;
   nn::InferScratch scratch;
+  // Pre-size every plan slot, arena buffer and GEMM scratch for the
+  // largest batch this worker will ever stack: afterwards the compiled
+  // steady state performs zero float-buffer allocation per batch
+  // (tensor/alloc_stats.h; pinned by tests/serve_alloc_test.cpp).
+  session_->warm(scratch, static_cast<int64_t>(cfg_.max_batch));
+  Tensor stacked;  // persistent; reset (capacity-reusing) per batch
   std::vector<Request> batch;
   for (;;) {
     batch.clear();
@@ -163,11 +169,12 @@ void InferenceServer::worker_loop() {
                            Clock::now() + std::chrono::microseconds(cfg_.max_delay_us));
       }
     }
-    process_batch(batch, scratch);
+    process_batch(batch, scratch, stacked);
   }
 }
 
-void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratch& scratch) {
+void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratch& scratch,
+                                    Tensor& stacked) {
   const Clock::time_point picked = Clock::now();
   std::vector<Request*> live;
   live.reserve(batch.size());
@@ -187,15 +194,15 @@ void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratc
   const Shape& in = session_->input_shape();
   const int64_t n = static_cast<int64_t>(live.size());
   const int64_t per_sample = in[0] * in[1] * in[2];
-  Tensor stacked({n, in[0], in[1], in[2]});
+  stacked.reset({n, in[0], in[1], in[2]});
   for (int64_t i = 0; i < n; ++i) {
     const Tensor& s = live[static_cast<size_t>(i)]->sample;
     std::copy(s.data(), s.data() + per_sample, stacked.data() + i * per_sample);
   }
 
-  Tensor logits;
+  const Tensor* logits = nullptr;
   try {
-    logits = session_->run(stacked, scratch);
+    logits = &session_->run_ref(stacked, scratch);
   } catch (const std::exception& e) {
     const Clock::time_point failed = Clock::now();
     n_errored_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);
@@ -209,7 +216,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratc
     return;
   }
 
-  const int64_t classes = logits.numel() / n;
+  const int64_t classes = logits->numel() / n;
   const Clock::time_point done = Clock::now();
   n_completed_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);
   n_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +226,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratc
     InferResult res;
     res.status = RequestStatus::kOk;
     res.output = Tensor({classes});
-    std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
+    std::copy(logits->data() + i * classes, logits->data() + (i + 1) * classes,
               res.output.data());
     res.latency_us = us_between(r->enqueued, done);
     r->promise.set_value(std::move(res));

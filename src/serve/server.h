@@ -122,7 +122,7 @@ class InferenceServer {
   Request make_request(Tensor sample, Clock::time_point deadline);
   void validate_sample(const Tensor& sample) const;
   void worker_loop();
-  void process_batch(std::vector<Request>& batch, nn::InferScratch& scratch);
+  void process_batch(std::vector<Request>& batch, nn::InferScratch& scratch, Tensor& stacked);
 
   std::shared_ptr<const InferenceSession> session_;
   ServerConfig cfg_;

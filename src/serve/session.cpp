@@ -9,7 +9,8 @@
 
 namespace capr::serve {
 
-InferenceSession::InferenceSession(nn::Model model) : model_(std::move(model)) {
+InferenceSession::InferenceSession(nn::Model model, SessionOptions opts)
+    : model_(std::move(model)), mode_(opts.mode) {
   if (!model_.net) throw std::invalid_argument("InferenceSession: model has no network");
   // Admission check: a session only ever serves a model whose graph is
   // well-formed. Checkpoint replay (from_checkpoint -> remove_filters)
@@ -20,14 +21,30 @@ InferenceSession::InferenceSession(nn::Model model) : model_(std::move(model)) {
     throw std::invalid_argument("InferenceSession: model graph rejected: " +
                                 g.error()->format());
   }
+  if (mode_ != SessionOptions::Mode::kInterpreted) {
+    compile::CompileOptions copts;
+    copts.fold_batchnorm = mode_ == SessionOptions::Mode::kCompiledFolded;
+    compile::CompileResult result =
+        compile::compile_cached(g, copts, compile::global_plan_cache());
+    // The admission check above guarantees a compilable graph; a node the
+    // passes cannot lower natively is already a per-node kInterpreted
+    // step inside the plan, so a null plan here would be a compiler bug.
+    if (!result.plan) {
+      std::string msg = "InferenceSession: compilation failed";
+      for (const compile::CompileError& e : result.errors) msg += "; " + e.format();
+      throw std::logic_error(msg);
+    }
+    plan_ = std::move(result.plan);
+  }
 }
 
 InferenceSession InferenceSession::from_checkpoint(const std::string& arch,
                                                    const models::BuildConfig& cfg,
-                                                   const std::string& path) {
+                                                   const std::string& path,
+                                                   SessionOptions opts) {
   nn::Model model = models::make_model(arch, cfg);
   core::load_pruned_checkpoint(model, load_tensor_map(path));
-  return InferenceSession(std::move(model));
+  return InferenceSession(std::move(model), opts);
 }
 
 Tensor InferenceSession::run(const Tensor& batch, nn::InferScratch& scratch) const {
@@ -35,7 +52,22 @@ Tensor InferenceSession::run(const Tensor& batch, nn::InferScratch& scratch) con
     throw std::invalid_argument("InferenceSession::run: expected NCHW batch, got rank " +
                                 std::to_string(batch.rank()));
   }
+  if (plan_) return plan_->run(batch, scratch);
   return model_.forward_inference(batch, scratch);
+}
+
+const Tensor& InferenceSession::run_ref(const Tensor& batch, nn::InferScratch& scratch) const {
+  if (batch.rank() != 4) {
+    throw std::invalid_argument("InferenceSession::run_ref: expected NCHW batch, got rank " +
+                                std::to_string(batch.rank()));
+  }
+  if (plan_) return plan_->run_ref(batch, scratch);
+  scratch.result = model_.forward_inference(batch, scratch);
+  return scratch.result;
+}
+
+void InferenceSession::warm(nn::InferScratch& scratch, int64_t max_batch) const {
+  if (plan_) plan_->warm(scratch, max_batch);
 }
 
 }  // namespace capr::serve

@@ -3,24 +3,44 @@
 // An InferenceSession freezes a trained (possibly pruned) Model into a
 // shared read-only artifact: after construction nothing inside mutates,
 // so ONE session serves arbitrarily many threads concurrently — each
-// caller brings its own InferScratch workspace. Outputs are
-// bitwise-identical to Model::forward(x, false) by construction (the
-// inference path reuses the training path's compute kernels; see
-// nn/layer.h).
+// caller brings its own InferScratch workspace.
+//
+// By default the session also compiles the model's ModuleGraph into an
+// ExecutionPlan (src/compile): epilogue fusion plus weight pre-packing,
+// both exact transformations, so kCompiled outputs stay bitwise-identical
+// to Model::forward(x, false). kCompiledFolded additionally folds
+// BatchNorms into their producer convs — faster, but eps-accurate rather
+// than bitwise (the fold rounds re-derived weights). kInterpreted keeps
+// the layer-by-layer path. Nodes the compiler cannot lower natively
+// (layers with active interventions) fall back per-node to
+// forward_inference inside the plan — never the whole model.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "compile/compiler.h"
 #include "models/builders.h"
 #include "nn/model.h"
 
 namespace capr::serve {
 
+struct SessionOptions {
+  enum class Mode {
+    kInterpreted,     // layer-by-layer forward_inference
+    kCompiled,        // exact passes only: bitwise vs interpreted
+    kCompiledFolded,  // + BN folding: eps-accurate, fastest
+  };
+  Mode mode = Mode::kCompiled;
+};
+
 class InferenceSession {
  public:
   /// Takes ownership of a fully initialised model. The model must not be
-  /// mutated afterwards (the session is the sole owner).
-  explicit InferenceSession(nn::Model model);
+  /// mutated afterwards (the session is the sole owner). Compiles the
+  /// model per `opts` after the graph admission check; plans without
+  /// per-node fallbacks are shared through the global PlanCache.
+  explicit InferenceSession(nn::Model model, SessionOptions opts = {});
 
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
@@ -33,19 +53,36 @@ class InferenceSession {
   /// unknown arch, or checkpoint/architecture mismatch.
   static InferenceSession from_checkpoint(const std::string& arch,
                                           const models::BuildConfig& cfg,
-                                          const std::string& path);
+                                          const std::string& path,
+                                          SessionOptions opts = {});
 
   /// Runs one NCHW batch through the network. Thread-safe: any number of
   /// threads may call run() on the same session as long as each passes
-  /// its own scratch. Bitwise-identical to Model::forward(batch, false).
+  /// its own scratch. Bitwise-identical to Model::forward(batch, false)
+  /// except under Mode::kCompiledFolded (see above).
   Tensor run(const Tensor& batch, nn::InferScratch& scratch) const;
+
+  /// Allocation-free variant: the returned reference points into
+  /// `scratch` and stays valid until its next run. After warm() the
+  /// compiled steady state allocates no float buffers at all.
+  const Tensor& run_ref(const Tensor& batch, nn::InferScratch& scratch) const;
+
+  /// Pre-sizes `scratch` for batches up to `max_batch` (no-op on the
+  /// interpreted path, which allocates per call by design).
+  void warm(nn::InferScratch& scratch, int64_t max_batch) const;
 
   const std::string& arch() const { return model_.arch; }
   const Shape& input_shape() const { return model_.input_shape; }
   int64_t num_classes() const { return model_.num_classes; }
 
+  SessionOptions::Mode mode() const { return mode_; }
+  /// The compiled plan, or null when Mode::kInterpreted.
+  const compile::ExecutionPlan* plan() const { return plan_.get(); }
+
  private:
   nn::Model model_;
+  SessionOptions::Mode mode_ = SessionOptions::Mode::kInterpreted;
+  std::shared_ptr<const compile::ExecutionPlan> plan_;
 };
 
 }  // namespace capr::serve

@@ -1,0 +1,25 @@
+// Float-buffer allocation accounting for the zero-allocation contract.
+//
+// The serving hot path (compiled ExecutionPlan + per-worker scratch)
+// promises that steady-state inference performs no float-buffer
+// allocation: every Tensor construction, every Tensor::reset that must
+// grow capacity, and every ScratchArena buffer growth bumps a global
+// counter, and the regression tests assert the counter stands still
+// across repeated calls. The counter is a single relaxed atomic
+// increment on allocation events only — the no-growth fast paths never
+// touch it — so instrumenting release builds costs nothing measurable.
+#pragma once
+
+#include <cstdint>
+
+namespace capr {
+
+/// Monotonic count of float-buffer allocation events since process start.
+uint64_t float_alloc_count();
+
+/// Records one allocation event. Internal hook for Tensor/ScratchArena;
+/// custom buffer owners that join the zero-allocation contract may call
+/// it when they grow.
+void note_float_alloc();
+
+}  // namespace capr

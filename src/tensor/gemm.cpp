@@ -84,19 +84,23 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     gemm_tiled_nt(a.data(), b.data(), c.data(), M, K, N);
     return c;
   }
+  gemm_nt_ref_rows(a.data(), b.data(), c.data(), M, K, N);
+  return c;
+}
+
+void gemm_nt_ref_rows(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N) {
   // Reference form: C[i,j] = sum_k A[i,k] * B[j,k], a dot of two rows;
   // contiguous on both, accumulated in double (plain IEEE propagation).
   for (int64_t i = 0; i < M; ++i) {
-    const float* arow = a.data() + i * K;
-    float* crow = c.data() + i * N;
+    const float* arow = a + i * K;
+    float* crow = c + i * N;
     for (int64_t j = 0; j < N; ++j) {
-      const float* brow = b.data() + j * K;
+      const float* brow = b + j * K;
       double acc = 0.0;
       for (int64_t k = 0; k < K; ++k) acc += static_cast<double>(arow[k]) * brow[k];
       crow[j] = static_cast<float>(acc);
     }
   }
-  return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {

@@ -48,4 +48,11 @@ void gemm(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_
 void gemm_tn_ref(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
                  bool accumulate = false);
 
+/// Raw reference NT kernel: c[M,N] = a[M,K] * b[N,K]^T, every element a
+/// double-accumulated row dot (plain IEEE propagation, no strong zeros
+/// — matmul_nt's historical semantics). One shared out-of-line body so
+/// matmul_nt and the compiled linear step produce bitwise-identical
+/// results regardless of per-TU optimisation (FP contraction).
+void gemm_nt_ref_rows(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N);
+
 }  // namespace capr

@@ -27,6 +27,8 @@ constexpr int64_t KC = 256;
 // the cut depends only on the shape, so dispatch stays deterministic.
 constexpr int64_t kParallelFlops = int64_t(1) << 23;
 
+static_assert(NR == kPanelWidth, "packed-B layout width must match the micro-kernel NR");
+
 std::atomic<GemmKernel> g_kernel_override{GemmKernel::kReference};
 std::atomic<bool> g_kernel_overridden{false};
 
@@ -224,7 +226,184 @@ void tiled_driver(const float* a, const float* b, float* c, int64_t M, int64_t K
   });
 }
 
+/// Fused write-back for one C tile: bias adds then activation, plain
+/// float ops in row-major element order — the exact sequence the
+/// interpreted per-layer passes perform, so fusion is bitwise exact.
+void apply_epilogue_tile(float* c, int64_t ldc, int64_t mr, int64_t nr, int64_t i0, int64_t j0,
+                         const GemmEpilogue& ep) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float* row = c + i * ldc;
+    const float br = ep.bias_row != nullptr ? ep.bias_row[i0 + i] : 0.0f;
+    for (int64_t j = 0; j < nr; ++j) {
+      float v = row[j];
+      if (ep.bias_row != nullptr) v += br;
+      if (ep.bias_col != nullptr) v += ep.bias_col[j0 + j];
+      if (ep.act == 1) {
+        v = v > 0.0f ? v : 0.0f;
+      } else if (ep.act == 2) {
+        v = v > 0.0f ? v : ep.alpha * v;
+      }
+      row[j] = v;
+    }
+  }
+}
+
+bool has_epilogue(const GemmEpilogue& ep) {
+  return ep.bias_row != nullptr || ep.bias_col != nullptr || ep.act != 0;
+}
+
+/// run_mblock with A pre-packed: same block order, same micro-kernel
+/// calls, no pack_a — plus the fused epilogue on the final k-block.
+void run_mblock_packed(const PackedA& A, const float* bpack, float* c, int64_t N,
+                       const GemmEpilogue& ep, int64_t mb) {
+  const int64_t M = A.rows;
+  const int64_t K = A.depth;
+  const int64_t i0 = mb * MC;
+  const int64_t mc = std::min(MC, M - i0);
+  const int64_t strips = (mc + MR - 1) / MR;
+  const int64_t panels = (N + NR - 1) / NR;
+  for (int64_t kb = 0; kb < A.kblocks; ++kb) {
+    const int64_t k0 = kb * KC;
+    const int64_t kc = std::min(KC, K - k0);
+    const float* apack = A.strips.data() + A.block_offset[static_cast<size_t>(mb * A.kblocks + kb)];
+    const bool overwrite = k0 == 0;
+    const bool last = k0 + kc == K;
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t j0 = p * NR;
+      const int64_t nr = std::min(NR, N - j0);
+      const float* bp = bpack + p * K * NR + k0 * NR;
+      for (int64_t s = 0; s < strips; ++s) {
+        const int64_t i = i0 + s * MR;
+        const int64_t mr = std::min(MR, i0 + mc - i);
+        micro_kernel(apack + s * MR * kc, bp, kc, c + i * N + j0, N, mr, nr, overwrite);
+        if (last && has_epilogue(ep)) apply_epilogue_tile(c + i * N + j0, N, mr, nr, i, j0, ep);
+      }
+    }
+  }
+}
+
+/// run_mblock against a pre-packed B with per-call A packing and the
+/// fused epilogue; used by the compiled linear step.
+void run_mblock_bpacked(const float* a, float* c, int64_t M, int64_t K, int64_t N,
+                        const float* bpack, const GemmEpilogue& ep, int64_t mb,
+                        std::vector<float>& apack) {
+  const int64_t i0 = mb * MC;
+  const int64_t mc = std::min(MC, M - i0);
+  const int64_t strips = (mc + MR - 1) / MR;
+  apack.resize(static_cast<size_t>(strips * MR * std::min(K, KC)));
+  const int64_t panels = (N + NR - 1) / NR;
+  for (int64_t k0 = 0; k0 < K; k0 += KC) {
+    const int64_t kc = std::min(KC, K - k0);
+    pack_a(a, K, 1, i0, mc, k0, kc, apack.data());
+    const bool overwrite = k0 == 0;
+    const bool last = k0 + kc == K;
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t j0 = p * NR;
+      const int64_t nr = std::min(NR, N - j0);
+      const float* bp = bpack + p * K * NR + k0 * NR;
+      for (int64_t s = 0; s < strips; ++s) {
+        const int64_t i = i0 + s * MR;
+        const int64_t mr = std::min(MR, i0 + mc - i);
+        micro_kernel(apack.data() + s * MR * kc, bp, kc, c + i * N + j0, N, mr, nr, overwrite);
+        if (last && has_epilogue(ep)) apply_epilogue_tile(c + i * N + j0, N, mr, nr, i, j0, ep);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+PackedA pack_a_full(const float* a, int64_t M, int64_t K) {
+  PackedA out;
+  out.rows = M;
+  out.depth = K;
+  out.kblocks = (K + KC - 1) / KC;
+  const int64_t mblocks = (M + MC - 1) / MC;
+  out.block_offset.reserve(static_cast<size_t>(mblocks * out.kblocks));
+  size_t total = 0;
+  for (int64_t mb = 0; mb < mblocks; ++mb) {
+    const int64_t i0 = mb * MC;
+    const int64_t mc = std::min(MC, M - i0);
+    const int64_t strips = (mc + MR - 1) / MR;
+    for (int64_t kb = 0; kb < out.kblocks; ++kb) {
+      const int64_t kc = std::min(KC, K - kb * KC);
+      out.block_offset.push_back(total);
+      total += static_cast<size_t>(strips * MR * kc);
+    }
+  }
+  out.strips.resize(total);
+  for (int64_t mb = 0; mb < mblocks; ++mb) {
+    const int64_t i0 = mb * MC;
+    const int64_t mc = std::min(MC, M - i0);
+    for (int64_t kb = 0; kb < out.kblocks; ++kb) {
+      const int64_t k0 = kb * KC;
+      const int64_t kc = std::min(KC, K - k0);
+      pack_a(a, K, 1, i0, mc, k0, kc,
+             out.strips.data() + out.block_offset[static_cast<size_t>(mb * out.kblocks + kb)]);
+    }
+  }
+  return out;
+}
+
+PackedB pack_b_nt(const float* w, int64_t N, int64_t K) {
+  PackedB out;
+  out.depth = K;
+  out.cols = N;
+  out.panels.resize(static_cast<size_t>(packed_b_floats(K, N)));
+  // Logical B = w^T for row-major w[N, K]: element (k, j) at w[j*K + k].
+  out.finite = pack_b(w, 1, K, K, N, out.panels.data());
+  return out;
+}
+
+void gemm_tiled_packed(const PackedA& a, const float* bpanels, float* c, int64_t N,
+                       const GemmEpilogue& ep) {
+  const int64_t M = a.rows;
+  const int64_t K = a.depth;
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0) {
+    std::memset(c, 0, static_cast<size_t>(M * N) * sizeof(float));
+    if (has_epilogue(ep)) apply_epilogue_tile(c, N, M, N, 0, 0, ep);
+    return;
+  }
+  const int64_t mblocks = (M + MC - 1) / MC;
+  const bool parallel = 2 * M * K * N >= kParallelFlops && mblocks > 1 && num_threads() > 1 &&
+                        !in_parallel_region();
+  if (!parallel) {
+    for (int64_t mb = 0; mb < mblocks; ++mb) run_mblock_packed(a, bpanels, c, N, ep, mb);
+    return;
+  }
+  parallel_for(0, mblocks,
+               [&](int, int64_t mb) { run_mblock_packed(a, bpanels, c, N, ep, mb); });
+}
+
+void gemm_tiled_packed_nt(const float* a, const PackedB& b, float* c, int64_t M,
+                          const GemmEpilogue& ep, GemmScratch* scratch) {
+  const int64_t K = b.depth;
+  const int64_t N = b.cols;
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0) {
+    std::memset(c, 0, static_cast<size_t>(M * N) * sizeof(float));
+    if (has_epilogue(ep)) apply_epilogue_tile(c, N, M, N, 0, 0, ep);
+    return;
+  }
+  GemmScratch local;
+  GemmScratch& s = scratch != nullptr ? *scratch : local;
+  const int64_t mblocks = (M + MC - 1) / MC;
+  const bool parallel = 2 * M * K * N >= kParallelFlops && mblocks > 1 && num_threads() > 1 &&
+                        !in_parallel_region();
+  if (!parallel) {
+    for (int64_t mb = 0; mb < mblocks; ++mb) {
+      run_mblock_bpacked(a, c, M, K, N, b.panels.data(), ep, mb, s.apack);
+    }
+    return;
+  }
+  const int workers = static_cast<int>(std::min<int64_t>(mblocks, num_threads()));
+  std::vector<std::vector<float>> apacks(static_cast<size_t>(workers));
+  parallel_for(0, mblocks, [&](int tid, int64_t mb) {
+    run_mblock_bpacked(a, c, M, K, N, b.panels.data(), ep, mb,
+                       apacks[static_cast<size_t>(tid)]);
+  });
+}
 
 GemmKernel gemm_kernel() {
   if (g_kernel_overridden.load(std::memory_order_acquire)) {

@@ -25,6 +25,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
+#include <vector>
 
 #include "tensor/scratch.h"
 
@@ -75,5 +77,87 @@ void gemm_nt_auto(const float* a, const float* b, float* c, int64_t M, int64_t K
                   bool accumulate = false, GemmScratch* scratch = nullptr);
 void gemm_tn_auto(const float* a, const float* b, float* c, int64_t M, int64_t K, int64_t N,
                   bool accumulate = false, GemmScratch* scratch = nullptr);
+
+// ---------------------------------------------------------------------------
+// Ahead-of-time packed operands for compiled execution plans (src/compile).
+//
+// The per-call kernels above re-pack both operands on every invocation.
+// A compiled plan knows its operand shapes and weight values at build
+// time, so it packs once and replays: conv weights become a PackedA
+// (every (row-block, k-block) strip precomputed), linear weights become
+// a PackedB (NR-wide panels of the transposed operand), and the im2col
+// matrix is written directly in panel layout (im2col_packed) so the B
+// pack pass disappears from the hot loop entirely.
+//
+// Bitwise contract: the packed kernels feed the exact same micro-kernel
+// with the exact same strip/panel contents and k-ascending block order
+// as gemm_tiled/gemm_tiled_nt, so their outputs are bitwise identical
+// to the per-call kernels (pinned by tests/compile_test.cpp). The
+// optional epilogue applies per C tile immediately after the final
+// k-block: plain float adds and compares in the same element order the
+// interpreted bias/activation passes use, so fusing it is exact too.
+// ---------------------------------------------------------------------------
+
+/// Panel width of the packed-B layout (equals the micro-kernel NR).
+/// Exposed so im2col can emit panels directly and plans can size them.
+inline constexpr int64_t kPanelWidth = 16;
+
+/// Returns the number of floats a packed-B buffer needs for a [K, N]
+/// logical operand: ceil(N / kPanelWidth) panels of K*kPanelWidth each.
+inline int64_t packed_b_floats(int64_t K, int64_t N) {
+  return (N + kPanelWidth - 1) / kPanelWidth * K * kPanelWidth;
+}
+
+/// A fully pre-packed left operand: every (row-block, k-block) strip of
+/// the logical row-major [rows, depth] matrix, in the exact layout
+/// run_mblock packs per call. Immutable after pack_a_full.
+struct PackedA {
+  int64_t rows = 0;   // logical M
+  int64_t depth = 0;  // logical K
+  int64_t kblocks = 0;
+  std::vector<float> strips;         // all blocks, back to back
+  std::vector<size_t> block_offset;  // index (mblock * kblocks + kblock)
+};
+
+/// Packs a row-major a[M, K] into every cache-block strip at once.
+PackedA pack_a_full(const float* a, int64_t M, int64_t K);
+
+/// A pre-packed right operand in NT form (logical B = w^T for a
+/// row-major w[N, K]): NR-wide column panels, k-major. `finite` records
+/// the strong-zero scan; callers must take the reference path when it
+/// is false, mirroring the per-call kernels' fallback.
+struct PackedB {
+  int64_t depth = 0;  // logical K
+  int64_t cols = 0;   // logical N
+  bool finite = true;
+  std::vector<float> panels;
+};
+
+/// Packs a row-major w[N, K] as the transposed right operand.
+PackedB pack_b_nt(const float* w, int64_t N, int64_t K);
+
+/// Optional fused write-back applied per C tile after the final k-block.
+/// Exactly replicates the interpreted post-passes (bias add then
+/// activation, plain float ops in row-major element order), so fused
+/// and unfused results are bitwise identical.
+struct GemmEpilogue {
+  const float* bias_row = nullptr;  // bias_row[i] added across row i (conv bias)
+  const float* bias_col = nullptr;  // bias_col[j] added down column j (linear bias)
+  int act = 0;                      // 0 = none, 1 = ReLU, 2 = LeakyReLU
+  float alpha = 0.0f;               // LeakyReLU negative slope
+};
+
+/// c[M, N] = A * B (+ epilogue). A is pre-packed; `bpanels` is a packed
+/// B buffer (pack_b layout for A.depth x N, e.g. from im2col_packed).
+/// The caller is responsible for the strong-zero fallback: only call
+/// this when the panel values are known finite.
+void gemm_tiled_packed(const PackedA& a, const float* bpanels, float* c, int64_t N,
+                       const GemmEpilogue& ep = {});
+
+/// c[M, N] = a[M, K] * B^T (+ epilogue) with B pre-packed by pack_b_nt.
+/// A is packed per call into `scratch` (pass one per thread). Only call
+/// when b.finite; otherwise take the reference NT path.
+void gemm_tiled_packed_nt(const float* a, const PackedB& b, float* c, int64_t M,
+                          const GemmEpilogue& ep = {}, GemmScratch* scratch = nullptr);
 
 }  // namespace capr

@@ -39,6 +39,16 @@ struct ConvGeom {
 /// `im` must be contiguous CHW; `col` must have col_rows()*col_cols() floats.
 void im2col(const float* im, const ConvGeom& g, float* col);
 
+/// Lowers one image straight into the tiled GEMM's packed-B panel layout
+/// (kPanelWidth-wide column panels, k-major, tail panel zero-padded):
+/// writing pack_b(im2col(im)) in one pass, skipping the intermediate
+/// column matrix entirely. `panels` must have
+/// packed_b_floats(col_rows(), col_cols()) floats. Returns false if any
+/// column value is non-finite — the exact predicate pack_b evaluates,
+/// so compiled and per-call paths take the strong-zero reference
+/// fallback under identical conditions.
+bool im2col_packed(const float* im, const ConvGeom& g, float* panels);
+
 /// Adjoint of im2col: accumulates the column matrix back into [Cin, H, W].
 /// `im` must be zeroed by the caller if fresh accumulation is wanted.
 void col2im(const float* col, const ConvGeom& g, float* im);

@@ -1,14 +1,26 @@
 #include "tensor/scratch.h"
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
+#include "tensor/alloc_stats.h"
+
 namespace capr {
+
+namespace {
+std::atomic<uint64_t> g_float_allocs{0};
+}  // namespace
+
+uint64_t float_alloc_count() { return g_float_allocs.load(std::memory_order_relaxed); }
+
+void note_float_alloc() { g_float_allocs.fetch_add(1, std::memory_order_relaxed); }
 
 void ScratchArena::prepare(int workers) {
   if (workers < 1) workers = 1;
   while (workers_.size() < static_cast<size_t>(workers)) {
     workers_.push_back(std::make_unique<Worker>());
+    note_float_alloc();  // fresh worker slot: its buffers start empty
   }
 }
 
@@ -23,7 +35,10 @@ float* ScratchArena::floats(int tid, int slot, int64_t count) {
     w.slots.resize(static_cast<size_t>(slot) + 1);
   }
   std::vector<float>& buf = w.slots[static_cast<size_t>(slot)];
-  if (buf.size() < static_cast<size_t>(count)) buf.resize(static_cast<size_t>(count));
+  if (buf.size() < static_cast<size_t>(count)) {
+    if (static_cast<size_t>(count) > buf.capacity()) note_float_alloc();
+    buf.resize(static_cast<size_t>(count));
+  }
   return buf.data();
 }
 

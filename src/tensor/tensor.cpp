@@ -1,6 +1,8 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+
+#include "tensor/alloc_stats.h"
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -28,10 +30,14 @@ std::string to_string(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), 0.0f) {}
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), 0.0f) {
+  if (!data_.empty()) note_float_alloc();
+}
 
 Tensor::Tensor(Shape shape, float value)
-    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), value) {}
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), value) {
+  if (!data_.empty()) note_float_alloc();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -39,6 +45,13 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
     throw std::invalid_argument("data size " + std::to_string(data_.size()) +
                                 " does not match shape " + to_string(shape_));
   }
+}
+
+void Tensor::reset(Shape shape) {
+  const int64_t n = numel_of(shape);
+  if (static_cast<size_t>(n) > data_.capacity()) note_float_alloc();
+  data_.resize(static_cast<size_t>(n));
+  shape_ = std::move(shape);
 }
 
 Tensor Tensor::from(std::initializer_list<float> values) {

@@ -72,6 +72,15 @@ class Tensor {
   /// One extent may be -1 (inferred). Throws if element counts disagree.
   Tensor reshape(Shape new_shape) const;
 
+  /// Re-shapes this tensor in place WITHOUT preserving contents and
+  /// without shrinking capacity: repeated resets at steady state reuse
+  /// the existing buffer and perform no allocation. Elements are
+  /// unspecified after a reset that grows the tensor (new slots are
+  /// value-initialised by vector growth, surviving ones keep stale
+  /// data) — callers overwrite everything. The compiled execution
+  /// plan's slot tensors live on this.
+  void reset(Shape shape);
+
   /// In-place fill.
   void fill(float value);
 

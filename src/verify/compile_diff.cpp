@@ -1,0 +1,62 @@
+#include "verify/compile_diff.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph.h"
+
+namespace capr::verify {
+
+PlanDiff diff_against_interpreted(const nn::Model& model, const compile::ExecutionPlan& plan,
+                                  const Tensor& batch) {
+  nn::InferScratch interp_scratch;
+  const Tensor want = model.forward_inference(batch, interp_scratch);
+  nn::InferScratch plan_scratch;
+  const Tensor& got = plan.run_ref(batch, plan_scratch);
+
+  PlanDiff d;
+  d.shape_match = want.shape() == got.shape();
+  if (!d.shape_match) {
+    d.detail = "shape mismatch: interpreted " + capr::to_string(want.shape()) + " vs compiled " +
+               capr::to_string(got.shape());
+    return d;
+  }
+  const int64_t n = want.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = want[i];
+    const float b = got[i];
+    if (std::memcmp(&a, &b, sizeof(float)) == 0) continue;
+    ++d.mismatches;
+    if (d.first_mismatch < 0) d.first_mismatch = i;
+    const double abs = std::fabs(static_cast<double>(b) - static_cast<double>(a));
+    const double rel = abs / std::max(std::fabs(static_cast<double>(a)), 1e-6);
+    if (abs > d.max_abs_err) d.max_abs_err = abs;
+    if (rel > d.max_rel_err) d.max_rel_err = rel;
+  }
+  d.bitwise = d.mismatches == 0;
+  if (!d.bitwise) {
+    std::ostringstream os;
+    os << d.mismatches << "/" << n << " elements differ; first at flat index "
+       << d.first_mismatch << ": interpreted " << want[d.first_mismatch] << " vs compiled "
+       << got[d.first_mismatch] << " (max abs " << d.max_abs_err << ", max rel "
+       << d.max_rel_err << ")";
+    d.detail = os.str();
+  }
+  return d;
+}
+
+PlanDiff compile_and_diff(const nn::Model& model, const compile::CompileOptions& opts,
+                          const Tensor& batch) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  const compile::CompileResult result = compile::compile(g, opts);
+  if (!result.plan) {
+    std::string msg = "compile_and_diff: compilation failed";
+    for (const compile::CompileError& e : result.errors) msg += "; " + e.format();
+    throw std::logic_error(msg);
+  }
+  return diff_against_interpreted(model, *result.plan, batch);
+}
+
+}  // namespace capr::verify

@@ -1,0 +1,171 @@
+// PlanCache semantics: deterministic hashing, prune/finetune key
+// movement, hit sharing, option keying, and recorded (never thrown)
+// compile errors for ill-formed graphs.
+#include "compile/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "compile/compiler.h"
+#include "compile/plan.h"
+#include "core/surgeon.h"
+#include "models/builders.h"
+#include "nn/linear.h"
+
+namespace capr::compile {
+namespace {
+
+models::BuildConfig small_cfg() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.5f;
+  return cfg;
+}
+
+graph::ModuleGraph graph_of(const nn::Model& m) { return graph::ModuleGraph::build(m); }
+
+// Same builder + seed -> identical structure AND weights: both hash
+// halves (and the derived key) must be reproducible across rebuilds.
+TEST(GraphHashTest, StableAcrossRebuilds) {
+  const nn::Model a = models::make_model("resnet20", small_cfg());
+  const nn::Model b = models::make_model("resnet20", small_cfg());
+  const GraphHash ha = hash_graph(graph_of(a));
+  const GraphHash hb = hash_graph(graph_of(b));
+  EXPECT_EQ(ha.structural, hb.structural);
+  EXPECT_EQ(ha.weights, hb.weights);
+  EXPECT_EQ(plan_key(ha, CompileOptions{}), plan_key(hb, CompileOptions{}));
+}
+
+TEST(GraphHashTest, ArchitecturesHashDifferently) {
+  const nn::Model a = models::make_model("resnet20", small_cfg());
+  const nn::Model b = models::make_model("vgg11", small_cfg());
+  EXPECT_NE(hash_graph(graph_of(a)).structural, hash_graph(graph_of(b)).structural);
+}
+
+// Pruning moves shapes: both halves change, so a cached pre-prune plan
+// can never be served for the pruned model.
+TEST(GraphHashTest, PruneChangesHashAndKey) {
+  nn::Model model = models::make_model("tiny", small_cfg());
+  const GraphHash before = hash_graph(graph_of(model));
+  ASSERT_FALSE(model.units.empty());
+  core::remove_filters(model, 0, {0, 2});
+  const GraphHash after = hash_graph(graph_of(model));
+  EXPECT_NE(before.structural, after.structural);
+  EXPECT_NE(before.weights, after.weights);
+  EXPECT_NE(plan_key(before, CompileOptions{}), plan_key(after, CompileOptions{}));
+}
+
+// A fine-tune step keeps the structure but moves the weight half.
+TEST(GraphHashTest, WeightEditChangesOnlyWeightHash)
+{
+  nn::Model model = models::make_model("tiny", small_cfg());
+  const GraphHash before = hash_graph(graph_of(model));
+  ASSERT_FALSE(model.units.empty());
+  model.units[0].conv->weight().value[0] += 0.25f;
+  const GraphHash after = hash_graph(graph_of(model));
+  EXPECT_EQ(before.structural, after.structural);
+  EXPECT_NE(before.weights, after.weights);
+}
+
+TEST(PlanCacheTest, HitSharesTheSamePlan) {
+  PlanCache cache;
+  const nn::Model model = models::make_model("tiny", small_cfg());
+  const graph::ModuleGraph g = graph_of(model);
+
+  const CompileResult first = compile_cached(g, CompileOptions{}, cache);
+  ASSERT_NE(first.plan, nullptr);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const CompileResult second = compile_cached(g, CompileOptions{}, cache);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.plan.get(), first.plan.get());  // same immutable object
+  EXPECT_EQ(second.key, first.key);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A separately built identical model hits the same entry.
+  const nn::Model twin = models::make_model("tiny", small_cfg());
+  const CompileResult third = compile_cached(graph_of(twin), CompileOptions{}, cache);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.plan.get(), first.plan.get());
+}
+
+// Different pass toggles are different plans; the key must separate them.
+TEST(PlanCacheTest, OptionsParticipateInTheKey) {
+  PlanCache cache;
+  const nn::Model model = models::make_model("tiny", small_cfg());
+  const graph::ModuleGraph g = graph_of(model);
+  CompileOptions folded;  // defaults: all on
+  CompileOptions exact;
+  exact.fold_batchnorm = false;
+  const CompileResult a = compile_cached(g, folded, cache);
+  const CompileResult b = compile_cached(g, exact, cache);
+  EXPECT_NE(a.key, b.key);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Plans holding per-node fallbacks pin a live model: they must never be
+// shared through the cache.
+TEST(PlanCacheTest, NonShareablePlansAreNotCached) {
+  PlanCache cache;
+  nn::Model model = models::make_model("tiny", small_cfg());
+  ASSERT_FALSE(model.units.empty());
+  nn::Layer* point = model.units[0].score_point;
+  point->instrument().channel_scale.assign(
+      static_cast<size_t>(model.units[0].conv->out_channels()), 0.5f);
+  const CompileResult result = compile_cached(graph_of(model), CompileOptions{}, cache);
+  point->instrument().channel_scale.clear();
+  ASSERT_NE(result.plan, nullptr);
+  EXPECT_FALSE(result.plan->shareable());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, ClearResetsEverything) {
+  PlanCache cache;
+  const nn::Model model = models::make_model("tiny", small_cfg());
+  compile_cached(graph_of(model), CompileOptions{}, cache);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// An ill-formed graph produces recorded CompileError values naming the
+// offending node — and never throws.
+TEST(CompileErrorTest, IllFormedGraphIsRecordedNotThrown) {
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, /*bias=*/false));
+  net.add(std::make_unique<nn::Conv2d>(16, 8, 3, 1, 1, /*bias=*/false));  // 16 != 8
+  const graph::ModuleGraph g = graph::ModuleGraph::build(net, {3, 8, 8});
+  ASSERT_FALSE(g.ok());
+
+  CompileResult result;
+  ASSERT_NO_THROW(result = compile(g, CompileOptions{}));
+  EXPECT_EQ(result.plan, nullptr);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].code, CompileError::Code::kIllFormedGraph);
+  EXPECT_EQ(result.errors[0].node, g.error()->node);
+  EXPECT_NE(result.errors[0].node, graph::kNoNode);
+  EXPECT_FALSE(result.errors[0].message.empty());
+  EXPECT_NE(result.errors[0].format().find("node"), std::string::npos);
+}
+
+TEST(CompileErrorTest, EmptyGraphIsRecordedNotThrown) {
+  nn::Sequential net;
+  const graph::ModuleGraph g = graph::ModuleGraph::build(net, {3, 8, 8});
+  if (!g.ok()) GTEST_SKIP() << "builder rejects empty nets before compile sees them";
+  CompileResult result;
+  ASSERT_NO_THROW(result = compile(g, CompileOptions{}));
+  EXPECT_EQ(result.plan, nullptr);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].code, CompileError::Code::kEmptyGraph);
+}
+
+}  // namespace
+}  // namespace capr::compile

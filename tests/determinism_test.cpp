@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "compile/compiler.h"
 #include "core/importance.h"
 #include "core/strategy.h"
 #include "core/surgeon.h"
@@ -119,6 +120,42 @@ TEST(DeterminismTest, TiledRemainderSweepIsCleanUnderManyThreads) {
   set_num_threads(8);
   const verify::SweepResult r = verify::sweep_gemm_tiled(verify::remainder_gemm_shapes());
   EXPECT_TRUE(r.ok()) << r.first_failure;
+}
+
+TEST(DeterminismTest, CompiledPlanIsBitwiseAcrossThreadCounts) {
+  // The compiled ExecutionPlan threads over the batch dimension inside
+  // each conv step; per-sample writes are disjoint and each GEMM output
+  // element accumulates in fixed k-order, so 1 worker vs N workers must
+  // be bitwise — for both the exact plan and the BN-folded plan (folding
+  // changes the numbers once at compile time, not per-run).
+  ThreadGuard guard;
+  const GemmKernelScope scope(GemmKernel::kTiled);
+  const nn::Model model = models::make_model("resnet20", [] {
+    models::BuildConfig cfg;
+    cfg.num_classes = 4;
+    cfg.input_size = 8;
+    cfg.width_mult = 0.5f;
+    return cfg;
+  }());
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  for (const bool fold : {false, true}) {
+    compile::CompileOptions opts;
+    opts.fold_batchnorm = fold;
+    const compile::CompileResult result = compile::compile(g, opts);
+    ASSERT_NE(result.plan, nullptr);
+    const Tensor x = testing::random_tensor({6, 3, 8, 8}, 41);
+
+    set_num_threads(1);
+    nn::InferScratch s1;
+    const Tensor y1 = result.plan->run(x, s1);
+    for (int workers : {2, 4, 8}) {
+      set_num_threads(workers);
+      nn::InferScratch sn;
+      const Tensor yn = result.plan->run(x, sn);
+      EXPECT_TRUE(bitwise_equal(yn, y1))
+          << workers << " workers, fold_batchnorm=" << fold;
+    }
+  }
 }
 
 // ---- pruning decisions ------------------------------------------------------

@@ -9,6 +9,7 @@
 // serve_test and serve_queue_test both run under the TSan CI lane.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -250,6 +251,70 @@ TEST(ServeConcurrencyTest, SharedSessionFourClientsBitwise) {
     const serve::ServerStats stats = server.stats();
     EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
     EXPECT_EQ(stats.errored, 0u);
+  }
+}
+
+// Same 4-client shape, but sweeping every session mode explicitly:
+// interpreted and compiled (exact passes only) are bitwise against the
+// training forward; the BN-folded plan is eps-bounded. Runs under TSan
+// in CI — the shared ExecutionPlan must be safely concurrent.
+TEST(ServeConcurrencyTest, FourClientsAcrossAllSessionModes) {
+  const models::BuildConfig cfg = small_cfg();
+  nn::Model reference = models::make_model("resnet20", cfg);
+  constexpr int kClients = 4;
+  constexpr int64_t kPerClient = 4;
+  const Tensor x = random_batch(reference.input_shape, kClients * kPerClient, 29);
+  const Tensor want = reference.forward(x, false);
+
+  for (const serve::SessionOptions::Mode mode :
+       {serve::SessionOptions::Mode::kInterpreted, serve::SessionOptions::Mode::kCompiled,
+        serve::SessionOptions::Mode::kCompiledFolded}) {
+    serve::SessionOptions opts;
+    opts.mode = mode;
+    auto session = std::make_shared<const serve::InferenceSession>(
+        serve::InferenceSession(models::make_model("resnet20", cfg), opts));
+    const bool exact = mode != serve::SessionOptions::Mode::kCompiledFolded;
+
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    scfg.max_batch = 8;
+    serve::InferenceServer server(session, scfg);
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<serve::InferResult>> futs;
+        for (int64_t i = c * kPerClient; i < (c + 1) * kPerClient; ++i) {
+          futs.push_back(server.submit(sample_of(x, i)));
+        }
+        for (int64_t i = 0; i < kPerClient; ++i) {
+          serve::InferResult res = futs[static_cast<size_t>(i)].get();
+          if (res.status != serve::RequestStatus::kOk) {
+            ++mismatches[static_cast<size_t>(c)];
+            continue;
+          }
+          const int64_t row = c * kPerClient + i;
+          if (exact) {
+            if (!row_equals(want, row, res.output)) ++mismatches[static_cast<size_t>(c)];
+          } else {
+            for (int64_t k = 0; k < want.dim(1); ++k) {
+              const float a = want[row * want.dim(1) + k];
+              const float b = res.output[k];
+              if (std::fabs(b - a) > 1e-3f + 2e-3f * std::fabs(a)) {
+                ++mismatches[static_cast<size_t>(c)];
+                break;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(mismatches[static_cast<size_t>(c)], 0)
+          << "client " << c << " mode " << static_cast<int>(mode);
+    }
+    EXPECT_EQ(server.stats().errored, 0u);
   }
 }
 

@@ -6,6 +6,7 @@
 //   capr-analyze --arch vgg16 --checkpoint m.ckpt --plan plan.txt --strict
 //   capr-analyze --arch resnet20 --dump-graph -     # ModuleGraph as JSON
 //   capr-analyze --arch resnet20 --dump-dot g.dot   # ModuleGraph as DOT
+//   capr-analyze --arch resnet20 --dump-plan -      # ExecutionPlan as JSON
 //
 // A plan file holds one unit per line: the unit index followed by the
 // filter indices to remove ('#' starts a comment):
@@ -27,6 +28,8 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "compile/compiler.h"
+#include "compile/dump.h"
 #include "core/surgeon.h"
 #include "graph/dump.h"
 #include "graph/graph.h"
@@ -45,6 +48,7 @@ struct Options {
   bool trace = false;          // print the shape propagation table
   std::string dump_graph;      // ModuleGraph JSON target ('-' = stdout)
   std::string dump_dot;        // ModuleGraph DOT target ('-' = stdout)
+  std::string dump_plan;       // compiled ExecutionPlan JSON ('-' = stdout)
 };
 
 void usage(std::ostream& os) {
@@ -63,7 +67,9 @@ void usage(std::ostream& os) {
         "  --min-filters <n>     per-layer floor (default 2, with --strict)\n"
         "  --trace               print the certified shape propagation table\n"
         "  --dump-graph <file>   write the ModuleGraph as JSON ('-' for stdout)\n"
-        "  --dump-dot <file>     write the ModuleGraph as Graphviz DOT ('-' for stdout)\n";
+        "  --dump-dot <file>     write the ModuleGraph as Graphviz DOT ('-' for stdout)\n"
+        "  --dump-plan <file>    compile and write the ExecutionPlan as JSON\n"
+        "                        (capr-exec-plan-v1 schema, '-' for stdout)\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -102,6 +108,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.dump_graph = value();
     } else if (arg == "--dump-dot") {
       opts.dump_dot = value();
+    } else if (arg == "--dump-plan") {
+      opts.dump_plan = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return false;
@@ -181,13 +189,26 @@ int main(int argc, char** argv) {
       capr::core::load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
     }
 
-    if (!opts.dump_graph.empty() || !opts.dump_dot.empty()) {
+    if (!opts.dump_graph.empty() || !opts.dump_dot.empty() || !opts.dump_plan.empty()) {
       const capr::graph::ModuleGraph g = capr::graph::ModuleGraph::build(model);
       if (!opts.dump_graph.empty()) write_output(opts.dump_graph, to_json(g, model.arch));
       if (!opts.dump_dot.empty()) write_output(opts.dump_dot, to_dot(g, model.arch));
+      if (!opts.dump_plan.empty()) {
+        const capr::compile::CompileOptions copts;  // all passes on
+        const capr::compile::CompileResult result = capr::compile::compile(g, copts);
+        if (!result.plan) {
+          for (const capr::compile::CompileError& e : result.errors) {
+            std::cerr << "capr-analyze: " << e.format() << "\n";
+          }
+          return 1;
+        }
+        write_output(opts.dump_plan, to_json(*result.plan, g, copts, model.arch));
+      }
       // Dumping to stdout is a machine-readable mode: suppress the human
       // report so the stream stays parseable, and exit on graph health.
-      if (opts.dump_graph == "-" || opts.dump_dot == "-") return g.ok() ? 0 : 1;
+      if (opts.dump_graph == "-" || opts.dump_dot == "-" || opts.dump_plan == "-") {
+        return g.ok() ? 0 : 1;
+      }
     }
 
     if (opts.trace) print_trace(capr::analysis::infer_shapes(model));
