@@ -96,7 +96,7 @@ uint64_t plan_key(const GraphHash& h, const CompileOptions& opts) {
 }
 
 std::shared_ptr<const ExecutionPlan> PlanCache::find(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = plans_.find(key);
   if (it == plans_.end()) {
     ++misses_;
@@ -107,29 +107,29 @@ std::shared_ptr<const ExecutionPlan> PlanCache::find(uint64_t key) {
 }
 
 void PlanCache::insert(uint64_t key, std::shared_ptr<const ExecutionPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_[key] = std::move(plan);
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_.clear();
   hits_ = 0;
   misses_ = 0;
 }
 
 uint64_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

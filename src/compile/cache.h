@@ -20,10 +20,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "graph/graph.h"
+#include "util/thread_annotations.h"
 
 namespace capr::compile {
 
@@ -48,19 +48,20 @@ uint64_t plan_key(const GraphHash& h, const CompileOptions& opts);
 /// may be served to any model with the same structure and weights.
 class PlanCache {
  public:
-  std::shared_ptr<const ExecutionPlan> find(uint64_t key);
-  void insert(uint64_t key, std::shared_ptr<const ExecutionPlan> plan);
+  std::shared_ptr<const ExecutionPlan> find(uint64_t key) CAPR_EXCLUDES(mu_);
+  void insert(uint64_t key, std::shared_ptr<const ExecutionPlan> plan) CAPR_EXCLUDES(mu_);
 
-  size_t size() const;
-  void clear();
-  uint64_t hits() const;
-  uint64_t misses() const;
+  size_t size() const CAPR_EXCLUDES(mu_);
+  void clear() CAPR_EXCLUDES(mu_);
+  uint64_t hits() const CAPR_EXCLUDES(mu_);
+  uint64_t misses() const CAPR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const ExecutionPlan>> plans_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const ExecutionPlan>> plans_
+      CAPR_GUARDED_BY(mu_);
+  uint64_t hits_ CAPR_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CAPR_GUARDED_BY(mu_) = 0;
 };
 
 /// Process-wide cache used by serving sessions.

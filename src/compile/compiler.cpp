@@ -41,20 +41,18 @@ struct PlanBuilder {
     for (const Step& s : plan.steps_) {
       if (s.kind == StepKind::kInterpreted) ++plan.interpreted_steps_;
     }
+    plan.recompute_scratch_floats();
     return std::make_shared<const ExecutionPlan>(std::move(plan));
   }
 };
 
-namespace {
-
-/// True when serving must honour a read-only intervention on this layer
-/// (mask simulation / Eq. 3 zero-outs): the node cannot be lowered to a
-/// native step and falls back to forward_inference.
-bool has_active_interventions(const nn::Layer* layer) {
+bool requires_interpreted_fallback(const nn::Layer* layer) {
   if (layer == nullptr) return false;
   const nn::Instrument& in = layer->instrument();
   return !in.channel_scale.empty() || in.zero_flat_index.has_value();
 }
+
+namespace {
 
 std::vector<float> to_vector(const Tensor& t) {
   return std::vector<float>(t.data(), t.data() + t.numel());
@@ -66,7 +64,7 @@ void lower(const graph::ModuleGraph& g, PlanBuilder& b, std::vector<int>& slot_o
   for (const graph::Node& node : g.nodes()) {
     const int in0 = node.inputs.empty() ? -1 : slot_of[static_cast<size_t>(node.inputs[0])];
 
-    if (has_active_interventions(node.layer)) {
+    if (requires_interpreted_fallback(node.layer)) {
       Step s;
       s.kind = StepKind::kInterpreted;
       s.nodes = {node.id};
@@ -293,7 +291,21 @@ CompileResult compile(const graph::ModuleGraph& g, const CompileOptions& opts) {
   if (opts.prepack_weights) prepack_weights(b);
 
   const int output_slot = slot_of[g.nodes().size() - 1];
-  result.plan = b.finish(g, output_slot);
+  std::shared_ptr<const ExecutionPlan> plan = b.finish(g, output_slot);
+
+  // Mandatory post-compile lint: every plan is machine-checked against
+  // the graph it lowers before it can be returned, cached, or served.
+  PlanLint lint = lint_plan(*plan, g);
+  if (!lint.ok()) {
+    result.lint = lint.diags();
+    CompileError ce;
+    ce.code = CompileError::Code::kPlanRejected;
+    ce.message = "emitted plan failed verification:\n" + lint.to_string();
+    result.errors.push_back(std::move(ce));
+    return result;  // plan stays null: a rejected plan must never run
+  }
+
+  result.plan = std::move(plan);
   result.interpreted_nodes = result.plan->interpreted_steps();
   return result;
 }

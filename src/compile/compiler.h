@@ -31,6 +31,7 @@
 
 #include "compile/cache.h"
 #include "compile/plan.h"
+#include "compile/verifier.h"
 #include "graph/graph.h"
 
 namespace capr::compile {
@@ -55,6 +56,7 @@ struct CompileError {
   enum class Code {
     kIllFormedGraph,  // ModuleGraph::build stopped at a bad edge
     kEmptyGraph,      // no nodes to compile
+    kPlanRejected,    // the emitted plan failed lint_plan (see CompileResult::lint)
   };
   Code code = Code::kIllFormedGraph;
   graph::NodeId node = graph::kNoNode;
@@ -70,11 +72,21 @@ struct CompileResult {
   /// the cache can hold the same immutable plan.
   std::shared_ptr<const ExecutionPlan> plan;
   std::vector<CompileError> errors;
+  /// Verifier findings when the plan was rejected (kPlanRejected); empty
+  /// on success — compile() never returns a plan that failed lint_plan.
+  std::vector<PlanDiag> lint;
   /// Nodes that fell back to per-node interpretation (interventions).
   int interpreted_nodes = 0;
   bool cache_hit = false;
   uint64_t key = 0;  // plan_key(hash_graph(g), opts)
 };
+
+/// True when serving must honour a read-only intervention on this layer
+/// (mask simulation / Eq. 3 zero-outs): the node cannot be lowered to a
+/// native step and must fall back to forward_inference. Shared between
+/// the lowering pass and the plan verifier so both sides of the
+/// fallback-legality contract apply the same predicate.
+bool requires_interpreted_fallback(const nn::Layer* layer);
 
 /// Compiles a built graph. `g` must outlive nothing: the plan copies all
 /// weights it needs, except for kInterpreted fallback steps which pin the

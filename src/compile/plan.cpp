@@ -329,7 +329,7 @@ int64_t ExecutionPlan::prepacked_floats() const {
   return total;
 }
 
-int64_t ExecutionPlan::scratch_floats() const {
+void ExecutionPlan::recompute_scratch_floats() {
   // Per-worker arena demand: slot 0 holds im2col panel buffers, slot 1
   // plain column matrices; each is sized to the largest conv that uses
   // it, matching ScratchArena's grow-only slots.
@@ -341,7 +341,7 @@ int64_t ExecutionPlan::scratch_floats() const {
     if (s.prepacked) panels = std::max(panels, packed_b_floats(krows, cols));
     col = std::max(col, krows * cols);
   }
-  return panels + col;
+  scratch_floats_ = panels + col;
 }
 
 }  // namespace capr::compile

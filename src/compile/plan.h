@@ -132,13 +132,19 @@ class ExecutionPlan {
   /// Total pre-packed weight floats held by the plan.
   int64_t prepacked_floats() const;
   /// Worst-case per-worker arena floats a run needs (im2col buffers).
-  int64_t scratch_floats() const;
+  /// Computed once at build time from step geometry; the plan verifier
+  /// (compile/verifier.h) re-derives the demand independently and
+  /// rejects a plan whose declared value is too small.
+  int64_t scratch_floats() const { return scratch_floats_; }
 
  private:
   friend struct PlanBuilder;
+  friend struct PlanTestAccess;
 
   void exec_step(const Step& s, const Tensor& batch, nn::InferScratch& scratch) const;
   const Tensor& value(int slot, const Tensor& batch, nn::InferScratch& scratch) const;
+  /// Re-derives scratch_floats_ from the current steps (PlanBuilder).
+  void recompute_scratch_floats();
 
   std::vector<Step> steps_;
   Shape input_;
@@ -147,6 +153,19 @@ class ExecutionPlan {
   int interpreted_steps_ = 0;
   int folded_bn_ = 0;
   int fused_epilogues_ = 0;
+  int64_t scratch_floats_ = 0;
+};
+
+/// Test-only backdoor into a plan's private state. The corrupted-plan
+/// suite (tests/plan_verifier_test.cpp) copies a real compiled plan and
+/// tampers with it to prove the verifier rejects each corruption class;
+/// nothing outside tests may use this.
+struct PlanTestAccess {
+  static std::vector<Step>& steps(ExecutionPlan& p) { return p.steps_; }
+  static int& num_slots(ExecutionPlan& p) { return p.num_slots_; }
+  static int& output_slot(ExecutionPlan& p) { return p.output_slot_; }
+  static int64_t& scratch_floats(ExecutionPlan& p) { return p.scratch_floats_; }
+  static int& interpreted_steps(ExecutionPlan& p) { return p.interpreted_steps_; }
 };
 
 }  // namespace capr::compile

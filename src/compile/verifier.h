@@ -1,0 +1,100 @@
+// ExecutionPlan static verifier: post-compile lint of the lowered IR.
+//
+// The compiler's passes are individually simple, but their composition
+// (slot aliasing for Dropout elision, BN folds retargeting output slots,
+// epilogue fusion merging steps, ahead-of-time weight packing) leaves
+// plenty of room for an emitted plan to be subtly wrong while still
+// executing without crashing. lint_plan() re-derives, from the plan and
+// the ModuleGraph it claims to lower, every structural invariant the
+// executor relies on:
+//
+//   - every slot is defined before use and written by exactly one step
+//     (E-PLAN-USE-BEFORE-DEF, E-PLAN-MULTI-WRITER, E-PLAN-SLOT);
+//   - slot aliasing only elides inference identities, and step operands
+//     resolve to exactly the slots the graph edges imply (E-PLAN-ALIAS);
+//   - step order is consistent with ModuleGraph topology, and each step
+//     implements the node(s) it claims to cover (E-PLAN-ORDER);
+//   - declared output shapes agree with the graph's resolved shapes and
+//     with each step's own geometry/parameters (E-PLAN-SHAPE);
+//   - the plan's declared scratch pre-size covers the worst-case im2col
+//     demand of its conv steps (E-PLAN-SCRATCH);
+//   - pre-packed operands agree with the tiled-kernel strip/panel layout
+//     they will be fed to (E-PLAN-PANEL);
+//   - interpreted-fallback steps appear exactly on the nodes whose layer
+//     carries active interventions — no more, no fewer (E-PLAN-FALLBACK);
+//   - the declared output slot exists and is defined (E-PLAN-OUTPUT).
+//
+// Like CompileError and analysis::Diagnostic, findings are recorded
+// values with stable machine codes — the verifier never throws, even on
+// arbitrarily corrupted plans (tests/plan_verifier_test.cpp feeds it
+// hand-mangled IR). compile() runs it on every plan it builds and
+// refuses to return a plan that fails (CompileError::Code::kPlanRejected);
+// `capr-analyze --lint-plan` exposes the same pass on the command line,
+// and CI lints all committed golden plans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compile/plan.h"
+#include "graph/graph.h"
+
+namespace capr::compile {
+
+/// Stable machine codes for plan-lint findings. The rendered "E-PLAN-*"
+/// strings extend the analyzer's E-SHAPE…E-THRESHOLD family and are part
+/// of the tool output contract: existing codes never change meaning.
+enum class PlanDiagCode {
+  kSlotRange,         // E-PLAN-SLOT: slot or node id outside the plan/graph
+  kUseBeforeDef,      // E-PLAN-USE-BEFORE-DEF: operand slot read before any write
+  kMultiWriter,       // E-PLAN-MULTI-WRITER: two steps write one slot
+  kBadAlias,          // E-PLAN-ALIAS: elision/operand aliasing is illegal
+  kStepOrder,         // E-PLAN-ORDER: step order/coverage violates graph topology
+  kShapeDisagree,     // E-PLAN-SHAPE: declared shape disagrees with graph/geometry
+  kScratchUndersized, // E-PLAN-SCRATCH: declared pre-size below worst-case demand
+  kPanelShape,        // E-PLAN-PANEL: packed operand disagrees with kernel layout
+  kSpuriousFallback,  // E-PLAN-FALLBACK: interpreted step without (or missing on) interventions
+  kBadOutput,         // E-PLAN-OUTPUT: output slot missing or never defined
+};
+
+/// The stable "E-PLAN-*" rendering of a code.
+const char* to_string(PlanDiagCode code);
+
+/// One lint finding. `step` is an index into ExecutionPlan::steps() (-1
+/// for plan-level findings); `node` the graph node involved, if any.
+struct PlanDiag {
+  PlanDiagCode code = PlanDiagCode::kSlotRange;
+  int step = -1;
+  graph::NodeId node = graph::kNoNode;
+  std::string message;
+
+  /// "[E-PLAN-ORDER] step 4, node 7: <message>"-style rendering.
+  std::string format() const;
+};
+
+/// The result of one lint pass: empty means the plan is well-formed.
+class PlanLint {
+ public:
+  bool ok() const { return diags_.empty(); }
+  const std::vector<PlanDiag>& diags() const { return diags_; }
+
+  /// True when any finding carries `code` (test and tool convenience).
+  bool has(PlanDiagCode code) const;
+
+  /// All findings, one formatted line each, '\n'-separated.
+  std::string to_string() const;
+
+  void add(PlanDiag diag) { diags_.push_back(std::move(diag)); }
+
+ private:
+  std::vector<PlanDiag> diags_;
+};
+
+/// Lints `plan` against the graph it was compiled from. Never throws:
+/// corrupt ids/slots become findings, not crashes. `g` must be the same
+/// built graph (same nodes, same shapes) that produced the plan; an
+/// ill-formed graph yields a single E-PLAN-ORDER finding because the
+/// topology checks have nothing sound to compare against.
+PlanLint lint_plan(const ExecutionPlan& plan, const graph::ModuleGraph& g);
+
+}  // namespace capr::compile

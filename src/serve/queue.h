@@ -8,16 +8,21 @@
 // close() wakes every waiter and makes further pushes fail; pops keep
 // succeeding until the queue is drained, which is what graceful shutdown
 // needs (finish accepted work, accept nothing new).
+//
+// Locking discipline is a compile-time contract (util/thread_annotations.h):
+// items_ and closed_ are CAPR_GUARDED_BY(mu_), every wait loop re-checks
+// its predicate with the lock held, and the thread-safety CI lane rejects
+// any unlocked access at build time.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace capr::serve {
 
@@ -32,9 +37,9 @@ class BoundedQueue {
   /// Non-blocking push. Returns false when the queue is full or closed;
   /// `item` is moved from ONLY on success, so the caller keeps it (and
   /// anything it owns, like a promise) on failure.
-  bool try_push(T&& item) {
+  bool try_push(T&& item) CAPR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -45,10 +50,10 @@ class BoundedQueue {
   /// Blocking push; waits for space. Returns false when the queue is
   /// closed (before or while waiting); `item` is moved from only on
   /// success.
-  bool push(T&& item) {
+  bool push(T&& item) CAPR_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -58,9 +63,9 @@ class BoundedQueue {
 
   /// Blocking pop. Returns nullopt only when the queue is closed AND
   /// drained — accepted items are always delivered.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() CAPR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -72,10 +77,10 @@ class BoundedQueue {
   /// Pops up to `max - out.size()` additional items without blocking,
   /// appending to `out`. The micro-batcher calls this right after a
   /// blocking pop() to coalesce whatever has already queued up.
-  void drain_into(std::vector<T>& out, size_t max) {
+  void drain_into(std::vector<T>& out, size_t max) CAPR_EXCLUDES(mu_) {
     bool took = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       while (out.size() < max && !items_.empty()) {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
@@ -91,10 +96,11 @@ class BoundedQueue {
   /// underfull batch immediately.
   template <typename Clock, typename Duration>
   void drain_until(std::vector<T>& out, size_t max,
-                   const std::chrono::time_point<Clock, Duration>& deadline) {
+                   const std::chrono::time_point<Clock, Duration>& deadline)
+      CAPR_EXCLUDES(mu_) {
     bool took = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       while (out.size() < max) {
         if (items_.empty()) {
           if (closed_) break;
@@ -111,22 +117,22 @@ class BoundedQueue {
 
   /// Makes every future push fail and wakes all waiters. Items already
   /// queued remain poppable.
-  void close() {
+  void close() CAPR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const CAPR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const CAPR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -134,11 +140,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ CAPR_GUARDED_BY(mu_);
+  bool closed_ CAPR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace capr::serve

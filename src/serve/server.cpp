@@ -54,6 +54,10 @@ InferenceServer::InferenceServer(std::shared_ptr<const InferenceSession> session
   int workers = cfg_.workers > 0 ? cfg_.workers : num_threads();
   if (workers < 1) workers = 1;
   cfg_.workers = workers;
+  // Hold join_mu_ while spawning: a worker never touches workers_, so
+  // this cannot deadlock, and the guarded field is only ever accessed
+  // under its mutex.
+  MutexLock lock(join_mu_);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -126,6 +130,10 @@ std::optional<std::future<InferResult>> InferenceServer::try_submit(Tensor sampl
 void InferenceServer::shutdown() {
   stopping_.store(true, std::memory_order_release);
   queue_.close();
+  // Workers drain the queue and exit on their own once it is closed;
+  // join_mu_ makes concurrent shutdown() calls (destructor + explicit)
+  // serialise instead of racing the joins and the clear.
+  MutexLock lock(join_mu_);
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }

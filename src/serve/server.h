@@ -31,6 +31,7 @@
 
 #include "serve/queue.h"
 #include "serve/session.h"
+#include "util/thread_annotations.h"
 
 namespace capr::serve {
 
@@ -105,8 +106,9 @@ class InferenceServer {
   std::optional<std::future<InferResult>> try_submit(Tensor sample);
 
   /// Closes the queue (new submits get kShutdown), drains accepted
-  /// requests, joins workers. Idempotent.
-  void shutdown();
+  /// requests, joins workers. Idempotent and safe to call from several
+  /// threads at once (join_mu_ serialises the join).
+  void shutdown() CAPR_EXCLUDES(join_mu_);
 
   ServerStats stats() const;
   const ServerConfig& config() const { return cfg_; }
@@ -127,7 +129,10 @@ class InferenceServer {
   std::shared_ptr<const InferenceSession> session_;
   ServerConfig cfg_;
   BoundedQueue<Request> queue_;
-  std::vector<std::thread> workers_;
+  /// Serialises shutdown(): the destructor, an explicit shutdown() call
+  /// and a concurrent one from another thread must not race the joins.
+  Mutex join_mu_;
+  std::vector<std::thread> workers_ CAPR_GUARDED_BY(join_mu_);
   std::atomic<bool> stopping_{false};
 
   std::atomic<uint64_t> n_submitted_{0};

@@ -67,7 +67,25 @@ const Tensor& InferenceSession::run_ref(const Tensor& batch, nn::InferScratch& s
 }
 
 void InferenceSession::warm(nn::InferScratch& scratch, int64_t max_batch) const {
-  if (plan_) plan_->warm(scratch, max_batch);
+  if (!plan_) return;
+  if (max_batch < 1) max_batch = 1;
+  // Build (or reuse) the zero-batch template under warm_->mu, then run
+  // it outside the lock: a pool of N workers warming the same session
+  // shares one allocation, and a template sized for a larger batch also
+  // covers every smaller one.
+  std::shared_ptr<const Tensor> zero;
+  {
+    MutexLock lock(warm_->mu);
+    if (!warm_->zero || warm_->zero->dim(0) < max_batch) {
+      Shape shape;
+      shape.reserve(input_shape().size() + 1);
+      shape.push_back(max_batch);
+      for (int64_t e : input_shape()) shape.push_back(e);
+      warm_->zero = std::make_shared<const Tensor>(std::move(shape));
+    }
+    zero = warm_->zero;
+  }
+  (void)plan_->run_ref(*zero, scratch);
 }
 
 }  // namespace capr::serve

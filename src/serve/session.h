@@ -22,6 +22,7 @@
 #include "compile/compiler.h"
 #include "models/builders.h"
 #include "nn/model.h"
+#include "util/thread_annotations.h"
 
 namespace capr::serve {
 
@@ -68,7 +69,10 @@ class InferenceSession {
   const Tensor& run_ref(const Tensor& batch, nn::InferScratch& scratch) const;
 
   /// Pre-sizes `scratch` for batches up to `max_batch` (no-op on the
-  /// interpreted path, which allocates per call by design).
+  /// interpreted path, which allocates per call by design). Thread-safe:
+  /// every worker of a pool may warm concurrently — they share one
+  /// zero-batch template (guarded by warm_->mu) instead of each
+  /// allocating its own.
   void warm(nn::InferScratch& scratch, int64_t max_batch) const;
 
   const std::string& arch() const { return model_.arch; }
@@ -80,9 +84,19 @@ class InferenceSession {
   const compile::ExecutionPlan* plan() const { return plan_.get(); }
 
  private:
+  /// Shared zero-batch template for warm(). The session is otherwise
+  /// immutable; this is the one mutable corner, so it carries its own
+  /// mutex and the guarded field is annotated for the thread-safety
+  /// lane. Held behind unique_ptr so the session stays movable.
+  struct WarmShared {
+    Mutex mu;
+    std::shared_ptr<const Tensor> zero CAPR_GUARDED_BY(mu);  // largest batch so far
+  };
+
   nn::Model model_;
   SessionOptions::Mode mode_ = SessionOptions::Mode::kInterpreted;
   std::shared_ptr<const compile::ExecutionPlan> plan_;
+  std::unique_ptr<WarmShared> warm_ = std::make_unique<WarmShared>();
 };
 
 }  // namespace capr::serve

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace capr {
 namespace {
 
@@ -58,11 +60,17 @@ void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int6
   // exception, the first one wins, and it is rethrown on the caller's
   // thread after the join. Once a sweep has failed, the other workers
   // abort cooperatively between indices instead of finishing their
-  // chunks against state the caller will unwind.
+  // chunks against state the caller will unwind. The flag stays an
+  // atomic (the per-index poll must stay lock-free); the exception_ptr
+  // itself is mutex-guarded so every access is a checked contract.
+  struct ErrorSlot {
+    Mutex mu;
+    std::exception_ptr eptr CAPR_GUARDED_BY(mu);
+    std::atomic<bool> raised{false};  // lock-free "should I abort?" poll
+  };
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers) - 1);
-  std::exception_ptr error;
-  std::atomic<bool> has_error{false};
+  ErrorSlot error;
   const auto run_chunk = [&](int tid) {
     const WorkerScope scope;
     const int64_t chunk = (count + workers - 1) / workers;
@@ -70,17 +78,26 @@ void parallel_for(int64_t begin, int64_t end, const std::function<void(int, int6
     const int64_t hi = std::min(end, lo + chunk);
     try {
       for (int64_t i = lo; i < hi; ++i) {
-        if (has_error.load(std::memory_order_relaxed)) return;
+        if (error.raised.load(std::memory_order_relaxed)) return;
         fn(tid, i);
       }
     } catch (...) {
-      if (!has_error.exchange(true)) error = std::current_exception();
+      MutexLock lock(error.mu);
+      if (!error.eptr) {
+        error.eptr = std::current_exception();
+        error.raised.store(true, std::memory_order_relaxed);
+      }
     }
   };
   for (int tid = 1; tid < workers; ++tid) threads.emplace_back(run_chunk, tid);
   run_chunk(0);
   for (std::thread& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  std::exception_ptr pending;
+  {
+    MutexLock lock(error.mu);
+    pending = error.eptr;
+  }
+  if (pending) std::rethrow_exception(pending);
 }
 
 }  // namespace capr

@@ -3,18 +3,77 @@
 #include <atomic>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "tensor/alloc_stats.h"
+#include "util/thread_annotations.h"
 
 namespace capr {
 
 namespace {
 std::atomic<uint64_t> g_float_allocs{0};
+
+/// Process-wide set of live arenas. Membership is guarded by mu (the
+/// thread-safety lane checks every access); each arena's resident count
+/// is its own atomic, read without the lock. Leaked on purpose: arenas
+/// with static storage duration may be destroyed after any registry
+/// with static storage duration, so the registry must never die.
+struct ArenaRegistry {
+  Mutex mu;
+  std::unordered_set<const ScratchArena*> arenas CAPR_GUARDED_BY(mu);
+};
+
+ArenaRegistry& arena_registry() {
+  static ArenaRegistry* reg = new ArenaRegistry;
+  return *reg;
+}
+
 }  // namespace
 
 uint64_t float_alloc_count() { return g_float_allocs.load(std::memory_order_relaxed); }
 
 void note_float_alloc() { g_float_allocs.fetch_add(1, std::memory_order_relaxed); }
+
+ArenaStats arena_stats() {
+  ArenaRegistry& reg = arena_registry();
+  ArenaStats out;
+  MutexLock lock(reg.mu);
+  out.arenas = static_cast<int64_t>(reg.arenas.size());
+  for (const ScratchArena* a : reg.arenas) out.resident_floats += a->resident_floats();
+  return out;
+}
+
+ScratchArena::ScratchArena() {
+  ArenaRegistry& reg = arena_registry();
+  MutexLock lock(reg.mu);
+  reg.arenas.insert(this);
+}
+
+ScratchArena::~ScratchArena() {
+  ArenaRegistry& reg = arena_registry();
+  MutexLock lock(reg.mu);
+  reg.arenas.erase(this);
+}
+
+ScratchArena::ScratchArena(ScratchArena&& other) noexcept
+    : workers_(std::move(other.workers_)),
+      resident_(other.resident_.exchange(0, std::memory_order_relaxed)) {
+  other.workers_.clear();
+  ArenaRegistry& reg = arena_registry();
+  MutexLock lock(reg.mu);
+  reg.arenas.insert(this);
+}
+
+ScratchArena& ScratchArena::operator=(ScratchArena&& other) noexcept {
+  if (this != &other) {
+    workers_ = std::move(other.workers_);
+    other.workers_.clear();
+    resident_.store(other.resident_.exchange(0, std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 void ScratchArena::prepare(int workers) {
   if (workers < 1) workers = 1;
@@ -37,6 +96,7 @@ float* ScratchArena::floats(int tid, int slot, int64_t count) {
   std::vector<float>& buf = w.slots[static_cast<size_t>(slot)];
   if (buf.size() < static_cast<size_t>(count)) {
     if (static_cast<size_t>(count) > buf.capacity()) note_float_alloc();
+    resident_.fetch_add(count - static_cast<int64_t>(buf.size()), std::memory_order_relaxed);
     buf.resize(static_cast<size_t>(count));
   }
   return buf.data();

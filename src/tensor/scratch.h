@@ -14,6 +14,7 @@
 // count).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -29,14 +30,32 @@ struct GemmScratch {
   std::vector<float> tpose;
 };
 
+/// Aggregate view over every live ScratchArena in the process, taken
+/// from the mutex-guarded registry (scratch.cpp). Lets capacity planning
+/// for a worker fleet ask "how much scratch is resident right now?"
+/// without threading a handle to every arena.
+struct ArenaStats {
+  int64_t arenas = 0;           // live (constructed, not yet destroyed)
+  int64_t resident_floats = 0;  // sum of slot-buffer floats across them
+};
+
+/// Snapshot of the process-wide arena registry. Thread-safe.
+ArenaStats arena_stats();
+
 /// Per-worker scratch buffers, reused across calls (see file comment).
+/// Every arena registers itself in a process-wide registry on
+/// construction and leaves it on destruction; arena_stats() aggregates
+/// the registry under its mutex.
 class ScratchArena {
  public:
-  ScratchArena() = default;
+  ScratchArena();
+  ~ScratchArena();
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
-  ScratchArena(ScratchArena&&) = default;
-  ScratchArena& operator=(ScratchArena&&) = default;
+  /// Moves transfer the buffers and the resident count; the moved-from
+  /// arena stays registered (it is still a live object) but empty.
+  ScratchArena(ScratchArena&& other) noexcept;
+  ScratchArena& operator=(ScratchArena&& other) noexcept;
 
   /// Ensures slots for worker ids [0, workers) exist. Must be called from
   /// the owning thread BEFORE the parallel region that uses them.
@@ -50,6 +69,10 @@ class ScratchArena {
   /// Tiled-GEMM scratch owned by worker `tid`.
   GemmScratch& gemm(int tid);
 
+  /// Floats currently held by this arena's slot buffers (grow-only, so
+  /// this is also the high-water mark). Readable from any thread.
+  int64_t resident_floats() const { return resident_.load(std::memory_order_relaxed); }
+
  private:
   struct Worker {
     std::vector<std::vector<float>> slots;
@@ -58,6 +81,9 @@ class ScratchArena {
   // unique_ptr keeps Worker objects stable if prepare() grows the vector
   // between parallel regions.
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Atomic so arena_stats() may read while a parallel region grows
+  // buffers; the registry mutex guards membership, not this counter.
+  std::atomic<int64_t> resident_{0};
 };
 
 }  // namespace capr

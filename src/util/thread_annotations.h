@@ -1,0 +1,120 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// wrappers for the concurrent runtime.
+//
+// The serving runtime and plan cache are the hot concurrent core of the
+// system; their locking discipline used to be checked only dynamically,
+// by whatever interleavings the TSan lane happened to execute. These
+// wrappers turn that discipline into a compile-time contract: a field
+// tagged CAPR_GUARDED_BY(mu_) cannot be touched without holding mu_, a
+// method tagged CAPR_REQUIRES(mu_) cannot be called without it, and the
+// thread-safety CI lane builds the whole tree with
+// -Werror=thread-safety so a violation is a build failure
+// (tests/thread_safety_fail.cpp proves the analysis actually fires).
+//
+// Annotation discipline (HACKING.md "Static analysis" has the long
+// form):
+//   - CAPR_GUARDED_BY(mu) on every field a mutex protects. This is the
+//     primary annotation; prefer it over prose comments.
+//   - CAPR_REQUIRES(mu) on private helpers that run with the lock
+//     already held; public entry points take the lock themselves.
+//   - CAPR_EXCLUDES(mu) on methods that must NOT be called with the
+//     lock held (they take it, or they block on it indirectly).
+//
+// On non-Clang compilers (the default gcc build) every macro expands to
+// nothing and the wrappers are zero-cost aliases of the std types.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CAPR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CAPR_THREAD_ANNOTATION
+#define CAPR_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPR_CAPABILITY(x) CAPR_THREAD_ANNOTATION(capability(x))
+#define CAPR_SCOPED_CAPABILITY CAPR_THREAD_ANNOTATION(scoped_lockable)
+#define CAPR_GUARDED_BY(x) CAPR_THREAD_ANNOTATION(guarded_by(x))
+#define CAPR_PT_GUARDED_BY(x) CAPR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CAPR_ACQUIRE(...) CAPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CAPR_RELEASE(...) CAPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CAPR_TRY_ACQUIRE(...) CAPR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CAPR_REQUIRES(...) CAPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CAPR_EXCLUDES(...) CAPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CAPR_ACQUIRED_BEFORE(...) CAPR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CAPR_ACQUIRED_AFTER(...) CAPR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define CAPR_RETURN_CAPABILITY(x) CAPR_THREAD_ANNOTATION(lock_returned(x))
+#define CAPR_ASSERT_CAPABILITY(x) CAPR_THREAD_ANNOTATION(assert_capability(x))
+#define CAPR_NO_THREAD_SAFETY_ANALYSIS CAPR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace capr {
+
+/// std::mutex with the `capability` attribute so the analysis can track
+/// what it protects. Same size and cost as the raw mutex.
+class CAPR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CAPR_ACQUIRE() { mu_.lock(); }
+  void unlock() CAPR_RELEASE() { mu_.unlock(); }
+  bool try_lock() CAPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock of a capr::Mutex (the std::lock_guard / std::unique_lock
+/// of this vocabulary). Supports early unlock() for the
+/// unlock-then-notify pattern; the destructor releases only if held.
+class CAPR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAPR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() CAPR_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before the end of scope (e.g. unlock-then-notify).
+  void unlock() CAPR_RELEASE() { lock_.unlock(); }
+  /// Re-acquires after an early unlock().
+  void lock() CAPR_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to capr::Mutex via MutexLock. Waits take
+/// the scoped lock; from the analysis' point of view the capability is
+/// held across the wait (the wait re-acquires before returning), which
+/// is exactly the contract the caller relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace capr

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "compile/compiler.h"
 #include "compile/plan.h"
@@ -134,6 +137,65 @@ TEST(PlanCacheTest, ClearResetsEverything) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
+}
+
+// Concurrency contract (run under the tsan preset): one PlanCache shared
+// by many threads. Half the threads repeatedly compile an unchanging
+// model — after the first miss, every lookup is a hit on the same shared
+// plan. The other half each own a "fine-tune" model whose weights they
+// perturb in place between compiles, so each iteration carries a fresh
+// weight hash and races insertions against the readers' lookups.
+TEST(PlanCacheTest, ConcurrentHitsMissesAndInvalidation) {
+  constexpr int kReaders = 4;
+  constexpr int kTuners = 4;
+  constexpr int kIters = 10;
+
+  PlanCache cache;
+  const nn::Model shared_model = models::make_model("tiny", small_cfg());
+  const graph::ModuleGraph shared_graph = graph_of(shared_model);
+
+  std::vector<nn::Model> tuned;
+  tuned.reserve(kTuners);
+  for (int t = 0; t < kTuners; ++t) tuned.push_back(models::make_model("tiny", small_cfg()));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kTuners);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const CompileResult r = compile_cached(shared_graph, CompileOptions{}, cache);
+        if (!r.plan || !r.plan->shareable()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kTuners; ++t) {
+    threads.emplace_back([&, t] {
+      nn::Model& model = tuned[static_cast<size_t>(t)];
+      for (int i = 0; i < kIters; ++i) {
+        // In-place weight update: shapes unchanged, weight hash fresh —
+        // the cached entry for the previous weights is now stale and
+        // this compile must key past it. Each tuner perturbs its own
+        // weight index so no two tuners ever converge on the same bytes.
+        model.units[0].conv->weight().value[static_cast<size_t>(t)] += 0.125f;
+        const CompileResult r = compile_cached(graph_of(model), CompileOptions{}, cache);
+        if (!r.plan || !r.plan->shareable() || r.cache_hit) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Readers share one entry (racing first-misses overwrite the same
+  // key); every tuner iteration inserted a fresh one.
+  EXPECT_EQ(cache.size(), 1u + kTuners * kIters);
+  // compile_cached doesn't hold the lock across compile, so more than
+  // one reader may miss the shared key before the first insert lands;
+  // everything after is a hit. Tuner lookups always miss.
+  const uint64_t lookups = static_cast<uint64_t>(kReaders + kTuners) * kIters;
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+  EXPECT_GE(cache.misses(), 1u + kTuners * kIters);
+  EXPECT_LE(cache.misses(), static_cast<uint64_t>(kReaders + kTuners * kIters));
 }
 
 // An ill-formed graph produces recorded CompileError values naming the

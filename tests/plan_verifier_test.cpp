@@ -1,0 +1,295 @@
+// ExecutionPlan verifier: every healthy plan lints clean, and every
+// class of corrupted IR is rejected with its specific, stable E-PLAN-*
+// code. Corruptions are built by copying a real compiled plan and
+// tampering through PlanTestAccess — the verifier must catch them
+// without crashing (it is the last line of defence before a bad plan
+// would serve traffic, so it can assume nothing).
+#include "compile/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/plan.h"
+#include "graph/graph.h"
+#include "models/builders.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+
+namespace capr::compile {
+namespace {
+
+models::BuildConfig small_cfg() {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.5f;
+  return cfg;
+}
+
+/// All passes off: steps correspond 1:1 to (non-dropout) graph nodes,
+/// which keeps each corruption surgical.
+CompileOptions no_passes() {
+  CompileOptions opts;
+  opts.fold_batchnorm = false;
+  opts.fuse_epilogues = false;
+  opts.prepack_weights = false;
+  return opts;
+}
+
+struct Compiled {
+  nn::Model model;
+  graph::ModuleGraph graph;
+  ExecutionPlan plan;  // mutable copy of the compiled plan, for tampering
+};
+
+Compiled compiled(const std::string& arch, const CompileOptions& opts) {
+  Compiled c{models::make_model(arch, small_cfg()), {}, {}};
+  c.graph = graph::ModuleGraph::build(c.model);
+  const CompileResult result = compile(c.graph, opts);
+  EXPECT_NE(result.plan, nullptr);
+  if (result.plan) c.plan = *result.plan;
+  return c;
+}
+
+// ---- healthy plans ---------------------------------------------------------
+
+TEST(PlanVerifierTest, AllGoldenArchsLintClean) {
+  const std::vector<std::string> archs = {"vgg11",    "vgg13",    "vgg16",
+                                          "vgg19",    "resnet20", "resnet32",
+                                          "resnet44", "resnet56", "tiny"};
+  for (const std::string& arch : archs) {
+    for (const CompileOptions& opts : {CompileOptions{}, no_passes()}) {
+      Compiled c = compiled(arch, opts);
+      const PlanLint lint = lint_plan(c.plan, c.graph);
+      EXPECT_TRUE(lint.ok()) << arch << ":\n" << lint.to_string();
+    }
+  }
+}
+
+// Dropout elision is the one legal aliasing: the plan skips the node and
+// the verifier accepts the slot forwarding around it.
+TEST(PlanVerifierTest, DropoutElisionLintsClean) {
+  nn::Model model;
+  model.arch = "custom-dropout";
+  model.input_shape = {3, 8, 8};
+  model.num_classes = 4;
+  model.net = std::make_unique<nn::Sequential>();
+  model.net->add(std::make_unique<nn::Conv2d>(3, 4, 3, 1, 1, /*bias=*/true));
+  model.net->add(std::make_unique<nn::Dropout>(0.5f));
+  model.net->add(std::make_unique<nn::Flatten>());
+  model.net->add(std::make_unique<nn::Linear>(4 * 8 * 8, 4));
+
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  const CompileResult result = compile(g, no_passes());
+  ASSERT_NE(result.plan, nullptr);
+  ASSERT_EQ(result.plan->steps().size(), 3u);  // dropout elided
+  const PlanLint lint = lint_plan(*result.plan, g);
+  EXPECT_TRUE(lint.ok()) << lint.to_string();
+}
+
+// ---- corrupted-plan classes ------------------------------------------------
+
+TEST(PlanVerifierTest, UseBeforeDefIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_GE(steps.size(), 2u);
+  // An early step reads the slot only the final step writes.
+  steps[0].in0 = steps.back().out;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kUseBeforeDef)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, MultiWriterIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_GE(steps.size(), 2u);
+  steps[1].out = steps[0].out;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kMultiWriter)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, BadAliasIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_GE(steps.size(), 3u);
+  // steps[2] consumes steps[1]'s output; retarget it onto steps[0]'s —
+  // a defined slot (so def-before-use passes) holding the wrong value.
+  ASSERT_EQ(steps[2].in0, steps[1].out);
+  steps[2].in0 = steps[0].out;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kBadAlias)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, ReorderedStepsAreRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_GE(steps.size(), 2u);
+  ASSERT_EQ(steps[1].in0, steps[0].out);  // adjacent dependent pair
+  std::swap(steps[0], steps[1]);
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kStepOrder)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, UndersizedScratchIsRejected) {
+  Compiled c = compiled("tiny", CompileOptions{});  // prepacked convs
+  ASSERT_GT(c.plan.scratch_floats(), 0);
+  PlanTestAccess::scratch_floats(c.plan) = c.plan.scratch_floats() - 1;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kScratchUndersized)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, WrongPanelShapeIsRejected) {
+  Compiled c = compiled("tiny", CompileOptions{});
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  Step* conv = nullptr;
+  for (Step& s : steps) {
+    if (s.kind == StepKind::kConv && s.prepacked) conv = &s;
+  }
+  ASSERT_NE(conv, nullptr);
+  conv->packed_w.depth += 1;  // strips no longer match the weight layout
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kPanelShape)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, WrongLinearPanelShapeIsRejected) {
+  Compiled c = compiled("tiny", CompileOptions{});
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  Step* linear = nullptr;
+  for (Step& s : steps) {
+    if (s.kind == StepKind::kLinear && s.prepacked && s.packed_in.finite) linear = &s;
+  }
+  ASSERT_NE(linear, nullptr);
+  linear->packed_in.panels.resize(linear->packed_in.panels.size() - 1);
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kPanelShape)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, SpuriousFallbackIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  Step* conv = nullptr;
+  for (Step& s : steps) {
+    if (s.kind == StepKind::kConv) conv = &s;
+  }
+  ASSERT_NE(conv, nullptr);
+  // Claim an interpreted fallback on a node without interventions.
+  conv->kind = StepKind::kInterpreted;
+  conv->layer = c.graph.node(conv->nodes.front()).layer;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kSpuriousFallback)) << lint.to_string();
+}
+
+// The converse direction: a node whose layer NEEDS the fallback (active
+// interventions, applied after compilation) must not be lowered natively.
+TEST(PlanVerifierTest, MissingFallbackIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  ASSERT_FALSE(c.model.units.empty());
+  nn::Layer* point = c.model.units[0].score_point;
+  ASSERT_NE(point, nullptr);
+  point->instrument().channel_scale.assign(
+      static_cast<size_t>(c.model.units[0].conv->out_channels()), 0.5f);
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  point->instrument().channel_scale.clear();
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kSpuriousFallback)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, BadOutputSlotIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  PlanTestAccess::output_slot(c.plan) = c.plan.slot_count() + 5;
+  PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kBadOutput)) << lint.to_string();
+
+  // A slot that exists but is never written is equally rejected.
+  PlanTestAccess::num_slots(c.plan) = c.plan.slot_count() + 6;
+  lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kBadOutput)) << lint.to_string();
+}
+
+TEST(PlanVerifierTest, WrongOutShapeIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_FALSE(steps.empty());
+  ASSERT_FALSE(steps[0].out_shape.empty());
+  steps[0].out_shape[0] += 1;
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kShapeDisagree)) << lint.to_string();
+}
+
+// Deleting a step elides a node that is NOT an inference identity — the
+// aliasing-legality rule dropout elision relies on must reject it.
+TEST(PlanVerifierTest, ElidingANonIdentityNodeIsRejected) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_GE(steps.size(), 2u);
+  steps.erase(steps.begin());
+  const PlanLint lint = lint_plan(c.plan, c.graph);
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kBadAlias)) << lint.to_string();
+}
+
+// Garbage node ids must become findings, never crashes.
+TEST(PlanVerifierTest, CorruptNodeIdsDoNotCrash) {
+  Compiled c = compiled("tiny", no_passes());
+  std::vector<Step>& steps = PlanTestAccess::steps(c.plan);
+  ASSERT_FALSE(steps.empty());
+  steps[0].nodes = {graph::NodeId{9999}};
+  PlanLint lint;
+  ASSERT_NO_THROW(lint = lint_plan(c.plan, c.graph));
+  ASSERT_FALSE(lint.ok());
+  EXPECT_TRUE(lint.has(PlanDiagCode::kSlotRange)) << lint.to_string();
+}
+
+// ---- stable codes and wiring ----------------------------------------------
+
+TEST(PlanVerifierTest, CodeStringsAreStable) {
+  EXPECT_STREQ(to_string(PlanDiagCode::kSlotRange), "E-PLAN-SLOT");
+  EXPECT_STREQ(to_string(PlanDiagCode::kUseBeforeDef), "E-PLAN-USE-BEFORE-DEF");
+  EXPECT_STREQ(to_string(PlanDiagCode::kMultiWriter), "E-PLAN-MULTI-WRITER");
+  EXPECT_STREQ(to_string(PlanDiagCode::kBadAlias), "E-PLAN-ALIAS");
+  EXPECT_STREQ(to_string(PlanDiagCode::kStepOrder), "E-PLAN-ORDER");
+  EXPECT_STREQ(to_string(PlanDiagCode::kShapeDisagree), "E-PLAN-SHAPE");
+  EXPECT_STREQ(to_string(PlanDiagCode::kScratchUndersized), "E-PLAN-SCRATCH");
+  EXPECT_STREQ(to_string(PlanDiagCode::kPanelShape), "E-PLAN-PANEL");
+  EXPECT_STREQ(to_string(PlanDiagCode::kSpuriousFallback), "E-PLAN-FALLBACK");
+  EXPECT_STREQ(to_string(PlanDiagCode::kBadOutput), "E-PLAN-OUTPUT");
+}
+
+TEST(PlanVerifierTest, DiagFormatNamesStepAndNode) {
+  PlanDiag d;
+  d.code = PlanDiagCode::kStepOrder;
+  d.step = 4;
+  d.node = 7;
+  d.message = "example";
+  EXPECT_EQ(d.format(), "[E-PLAN-ORDER] step 4, node 7: example");
+}
+
+// compile() runs the verifier on every plan it emits; a clean compile
+// therefore implies an empty lint report.
+TEST(PlanVerifierTest, CompileNeverReturnsARejectedPlan) {
+  const nn::Model model = models::make_model("resnet20", small_cfg());
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  const CompileResult result = compile(g, CompileOptions{});
+  ASSERT_NE(result.plan, nullptr);
+  EXPECT_TRUE(result.lint.empty());
+  EXPECT_TRUE(lint_plan(*result.plan, g).ok());
+}
+
+}  // namespace
+}  // namespace capr::compile

@@ -1,0 +1,27 @@
+// Negative fixture for the thread-safety CI lane: this file contains a
+// deliberate locking violation and MUST NOT compile under clang
+// -Werror=thread-safety. It is built by the `thread_safety_compile_fail`
+// ctest (a WILL_FAIL build target, Clang only) to prove the analysis in
+// util/thread_annotations.h actually fires — a lane that silently
+// stopped analysing would otherwise pass forever.
+//
+// Never add this file to a normal target.
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  capr::Mutex mu;
+  int value CAPR_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int read_without_lock();
+
+int read_without_lock() {
+  Counter c;
+  // BUG (intentional): reads a guarded field without holding its mutex.
+  // Clang: error: reading variable 'value' requires holding mutex 'mu'.
+  return c.value;
+}

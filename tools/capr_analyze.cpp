@@ -7,6 +7,7 @@
 //   capr-analyze --arch resnet20 --dump-graph -     # ModuleGraph as JSON
 //   capr-analyze --arch resnet20 --dump-dot g.dot   # ModuleGraph as DOT
 //   capr-analyze --arch resnet20 --dump-plan -      # ExecutionPlan as JSON
+//   capr-analyze --arch resnet20 --lint-plan        # compile + verify the plan IR
 //
 // A plan file holds one unit per line: the unit index followed by the
 // filter indices to remove ('#' starts a comment):
@@ -49,6 +50,7 @@ struct Options {
   std::string dump_graph;      // ModuleGraph JSON target ('-' = stdout)
   std::string dump_dot;        // ModuleGraph DOT target ('-' = stdout)
   std::string dump_plan;       // compiled ExecutionPlan JSON ('-' = stdout)
+  bool lint_plan = false;      // compile and lint the ExecutionPlan IR
 };
 
 void usage(std::ostream& os) {
@@ -69,7 +71,9 @@ void usage(std::ostream& os) {
         "  --dump-graph <file>   write the ModuleGraph as JSON ('-' for stdout)\n"
         "  --dump-dot <file>     write the ModuleGraph as Graphviz DOT ('-' for stdout)\n"
         "  --dump-plan <file>    compile and write the ExecutionPlan as JSON\n"
-        "                        (capr-exec-plan-v1 schema, '-' for stdout)\n";
+        "                        (capr-exec-plan-v1 schema, '-' for stdout)\n"
+        "  --lint-plan           compile and statically verify the ExecutionPlan IR\n"
+        "                        (prints E-PLAN-* findings; exit 1 on any)\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -110,6 +114,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.dump_dot = value();
     } else if (arg == "--dump-plan") {
       opts.dump_plan = value();
+    } else if (arg == "--lint-plan") {
+      opts.lint_plan = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return false;
@@ -189,7 +195,8 @@ int main(int argc, char** argv) {
       capr::core::load_pruned_checkpoint(model, capr::load_tensor_map(opts.checkpoint));
     }
 
-    if (!opts.dump_graph.empty() || !opts.dump_dot.empty() || !opts.dump_plan.empty()) {
+    if (!opts.dump_graph.empty() || !opts.dump_dot.empty() || !opts.dump_plan.empty() ||
+        opts.lint_plan) {
       const capr::graph::ModuleGraph g = capr::graph::ModuleGraph::build(model);
       if (!opts.dump_graph.empty()) write_output(opts.dump_graph, to_json(g, model.arch));
       if (!opts.dump_dot.empty()) write_output(opts.dump_dot, to_dot(g, model.arch));
@@ -203,6 +210,31 @@ int main(int argc, char** argv) {
           return 1;
         }
         write_output(opts.dump_plan, to_json(*result.plan, g, copts, model.arch));
+      }
+      if (opts.lint_plan) {
+        // compile() already rejects a plan that fails its mandatory lint;
+        // this mode surfaces the same pass (and its E-PLAN-* findings)
+        // on the command line, and CI runs it over every golden arch.
+        const capr::compile::CompileOptions copts;  // all passes on
+        const capr::compile::CompileResult result = capr::compile::compile(g, copts);
+        if (!result.plan) {
+          for (const capr::compile::PlanDiag& d : result.lint) {
+            std::cout << d.format() << "\n";
+          }
+          for (const capr::compile::CompileError& e : result.errors) {
+            std::cerr << "capr-analyze: " << e.format() << "\n";
+          }
+          return 1;
+        }
+        const capr::compile::PlanLint lint = capr::compile::lint_plan(*result.plan, g);
+        if (!lint.ok()) {
+          std::cout << lint.to_string() << "\n";
+          return 1;
+        }
+        std::cout << model.arch << ": plan lint OK (" << result.plan->steps().size()
+                  << " steps, " << result.plan->slot_count() << " slots, "
+                  << result.plan->interpreted_steps() << " interpreted)\n";
+        return 0;
       }
       // Dumping to stdout is a machine-readable mode: suppress the human
       // report so the stream stays parseable, and exit on graph health.
