@@ -1,0 +1,101 @@
+#include "serve/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "core/surgeon.h"
+#include "tensor/serialize.h"
+
+namespace capr::serve {
+
+std::shared_ptr<const InferenceSession> ModelRegistry::find(const std::string& id) const {
+  MutexLock lock(mu_);
+  const auto it = variants_.find(id);
+  return it == variants_.end() ? nullptr : it->second.session;
+}
+
+std::shared_ptr<const InferenceSession> ModelRegistry::publish(
+    const std::string& id, std::shared_ptr<const InferenceSession> session,
+    int64_t warm_batch) {
+  if (!session) throw std::invalid_argument("ModelRegistry::publish: null session");
+  // Compatibility gate against the variant currently live under this id:
+  // a hot-swap must not change the response contract mid-stream.
+  {
+    MutexLock lock(mu_);
+    const auto it = variants_.find(id);
+    if (it != variants_.end()) {
+      const InferenceSession& old = *it->second.session;
+      if (old.input_shape() != session->input_shape() ||
+          old.num_classes() != session->num_classes()) {
+        throw std::invalid_argument(
+            "ModelRegistry::publish: variant '" + id + "' would change contract: " +
+            capr::to_string(old.input_shape()) + "->" +
+            capr::to_string(session->input_shape()) + " classes " +
+            std::to_string(old.num_classes()) + "->" +
+            std::to_string(session->num_classes()));
+      }
+    }
+  }
+  // Warm OUTSIDE the lock (it runs a full zero batch through the plan):
+  // the live variant keeps serving while the replacement heats up, which
+  // is the whole point of zero-downtime publish.
+  if (warm_batch > 0) {
+    nn::InferScratch scratch;
+    session->warm(scratch, warm_batch);
+  }
+  MutexLock lock(mu_);
+  Variant& slot = variants_[id];
+  // Two racing publishes to one id both pass the gate (both compatible);
+  // last store wins, and each returns the session it actually displaced.
+  std::shared_ptr<const InferenceSession> old = std::move(slot.session);
+  slot.session = std::move(session);
+  ++slot.version;
+  ++publishes_;
+  return old;
+}
+
+std::shared_ptr<const InferenceSession> ModelRegistry::publish_checkpoint(
+    const std::string& id, const std::string& arch, const models::BuildConfig& cfg,
+    const std::string& path, SessionOptions opts, int64_t warm_batch) {
+  nn::Model model = models::make_model(arch, cfg);
+  core::load_pruned_checkpoint(model, load_tensor_map(path));
+  // Static certification before anything goes live: the analyzer re-runs
+  // shape inference and unit-metadata checks and throws AnalysisError
+  // with coded diagnostics on an uncertified checkpoint.
+  analysis::require_ok(analysis::analyze_model(model));
+  auto session = std::make_shared<const InferenceSession>(
+      InferenceSession(std::move(model), opts));
+  return publish(id, std::move(session), warm_batch);
+}
+
+bool ModelRegistry::remove(const std::string& id) {
+  MutexLock lock(mu_);
+  return variants_.erase(id) > 0;
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(variants_.size());
+  for (const auto& [id, variant] : variants_) out.push_back(id);
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  MutexLock lock(mu_);
+  return variants_.size();
+}
+
+uint64_t ModelRegistry::version(const std::string& id) const {
+  MutexLock lock(mu_);
+  const auto it = variants_.find(id);
+  return it == variants_.end() ? 0 : it->second.version;
+}
+
+uint64_t ModelRegistry::publishes() const {
+  MutexLock lock(mu_);
+  return publishes_;
+}
+
+}  // namespace capr::serve

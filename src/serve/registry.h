@@ -1,0 +1,98 @@
+// Multi-tenant model fleet: named immutable sessions with atomic,
+// zero-downtime hot-swap.
+//
+// A ModelRegistry maps model ids ("resnet20", "resnet20-pruned-v3", ...)
+// to shared immutable InferenceSessions. Routing is a snapshot read:
+// find() hands back a shared_ptr copy under the registry mutex, so a
+// request resolved before a publish keeps serving on the OLD session
+// until its future resolves, while requests resolved after see the new
+// one — the swap itself is a pointer store, never a drain barrier.
+// Because sessions are immutable and refcounted, the old session is
+// destroyed exactly when the last in-flight request lets go of it
+// (serve_fleet_test pins the drain with a weak_ptr).
+//
+// publish() is the continuous-deployment entry point. Before the swap
+// becomes visible it:
+//   1. certifies — the InferenceSession constructor already ran the
+//      ModuleGraph admission check and compiled through the global
+//      PlanCache; publish_checkpoint() additionally replays the
+//      checkpoint and runs the static analyzer (analysis::analyze_model)
+//      so an uncertified checkpoint is rejected with coded diagnostics
+//      and the live variant keeps serving untouched;
+//   2. checks swap compatibility — a replacement for a live id must keep
+//      the input shape and class count, so in-flight clients never see a
+//      response contract change mid-stream;
+//   3. warms — runs a zero batch through the compiled plan so the first
+//      real request after the swap pays no first-touch cost.
+// Only then is the pointer swapped in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+#include "util/thread_annotations.h"
+
+namespace capr::serve {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Routing lookup: the session serving `id` right now, or null. The
+  /// returned shared_ptr is the caller's drain token — hold it for the
+  /// lifetime of the request and the hot-swap can never free the
+  /// session underneath it.
+  std::shared_ptr<const InferenceSession> find(const std::string& id) const
+      CAPR_EXCLUDES(mu_);
+
+  /// Atomically (re)binds `id` to `session` and returns the previous
+  /// session (null on first publish). Throws std::invalid_argument when
+  /// `session` is null or when a live variant would change input shape
+  /// or class count. `warm_batch` > 0 runs a zero batch of that size
+  /// through the plan before the swap becomes visible; 0 skips warming.
+  std::shared_ptr<const InferenceSession> publish(
+      const std::string& id, std::shared_ptr<const InferenceSession> session,
+      int64_t warm_batch = 8) CAPR_EXCLUDES(mu_);
+
+  /// Full prune→certify→serve publish path: rebuilds `arch`, replays the
+  /// checkpoint at `path`, certifies it with the static analyzer
+  /// (analysis::require_ok(analyze_model(...))), wraps it in a session
+  /// (ModuleGraph admission + compile) and publishes. Any failure —
+  /// unreadable file, replay mismatch, analyzer or admission rejection,
+  /// incompatible swap — throws WITHOUT touching the live variant.
+  std::shared_ptr<const InferenceSession> publish_checkpoint(
+      const std::string& id, const std::string& arch, const models::BuildConfig& cfg,
+      const std::string& path, SessionOptions opts = {}, int64_t warm_batch = 8)
+      CAPR_EXCLUDES(mu_);
+
+  /// Unbinds `id`; in-flight requests keep their snapshot. Returns
+  /// false when the id was not bound.
+  bool remove(const std::string& id) CAPR_EXCLUDES(mu_);
+
+  std::vector<std::string> ids() const CAPR_EXCLUDES(mu_);
+  size_t size() const CAPR_EXCLUDES(mu_);
+
+  /// Monotonic per-id publish count (1 after the first publish); 0 when
+  /// the id is not bound.
+  uint64_t version(const std::string& id) const CAPR_EXCLUDES(mu_);
+  /// Total successful publishes across all ids.
+  uint64_t publishes() const CAPR_EXCLUDES(mu_);
+
+ private:
+  struct Variant {
+    std::shared_ptr<const InferenceSession> session;
+    uint64_t version = 0;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Variant> variants_ CAPR_GUARDED_BY(mu_);
+  uint64_t publishes_ CAPR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace capr::serve

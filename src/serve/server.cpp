@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "tensor/parallel.h"
@@ -40,17 +41,20 @@ const char* to_string(RequestStatus status) {
       return "rejected";
     case RequestStatus::kShutdown:
       return "shutdown";
+    case RequestStatus::kUnknownModel:
+      return "unknown-model";
     case RequestStatus::kError:
       return "error";
   }
   return "unknown";
 }
 
-InferenceServer::InferenceServer(std::shared_ptr<const InferenceSession> session,
-                                 ServerConfig cfg)
-    : session_(std::move(session)), cfg_(cfg), queue_(cfg.queue_capacity) {
-  if (!session_) throw std::invalid_argument("InferenceServer: null session");
+InferenceServer::InferenceServer(std::shared_ptr<ModelRegistry> registry, ServerConfig cfg)
+    : registry_(std::move(registry)), cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+  if (!registry_) throw std::invalid_argument("InferenceServer: null registry");
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  queue_.set_starvation_limit(cfg_.starvation_limit);
+  for (const auto& [tenant, quota] : cfg_.tenant_quotas) queue_.set_quota(tenant, quota);
   int workers = cfg_.workers > 0 ? cfg_.workers : num_threads();
   if (workers < 1) workers = 1;
   cfg_.workers = workers;
@@ -64,67 +68,115 @@ InferenceServer::InferenceServer(std::shared_ptr<const InferenceSession> session
   }
 }
 
+namespace {
+
+std::shared_ptr<ModelRegistry> single_model_registry(
+    std::shared_ptr<const InferenceSession> session, const std::string& id) {
+  if (!session) throw std::invalid_argument("InferenceServer: null session");
+  auto registry = std::make_shared<ModelRegistry>();
+  // Workers warm their own scratch on first contact; skip the publish
+  // warm so single-session construction stays cheap.
+  registry->publish(id, std::move(session), /*warm_batch=*/0);
+  return registry;
+}
+
+}  // namespace
+
+// NOTE: cfg is passed by value (not moved) into the delegated call —
+// argument evaluation order is unspecified and the registry arg reads
+// cfg.default_model.
+InferenceServer::InferenceServer(std::shared_ptr<const InferenceSession> session,
+                                 ServerConfig cfg)
+    : InferenceServer(single_model_registry(std::move(session), cfg.default_model), cfg) {}
+
 InferenceServer::~InferenceServer() { shutdown(); }
 
-void InferenceServer::validate_sample(const Tensor& sample) const {
-  const Shape& want = session_->input_shape();
-  if (sample.shape() != want) {
-    throw std::invalid_argument("InferenceServer: sample shape " +
-                                capr::to_string(sample.shape()) +
-                                " does not match session input " + capr::to_string(want));
-  }
-}
-
-InferenceServer::Request InferenceServer::make_request(Tensor sample,
-                                                       Clock::time_point deadline) {
-  Request req;
-  req.sample = std::move(sample);
-  req.enqueued = Clock::now();
-  req.deadline = deadline;
-  return req;
-}
-
-std::future<InferResult> InferenceServer::submit(Tensor sample) {
-  Clock::time_point deadline = Clock::time_point::max();
+InferenceServer::Clock::time_point InferenceServer::effective_deadline(
+    const SubmitOptions& opts) const {
+  if (opts.deadline) return *opts.deadline;
   if (cfg_.default_timeout_us > 0) {
-    deadline = Clock::now() + std::chrono::microseconds(cfg_.default_timeout_us);
+    return Clock::now() + std::chrono::microseconds(cfg_.default_timeout_us);
   }
-  return submit(std::move(sample), deadline);
+  return Clock::time_point::max();
 }
 
-std::future<InferResult> InferenceServer::submit(Tensor sample, Clock::time_point deadline) {
-  validate_sample(sample);
+std::future<InferResult> InferenceServer::submit_impl(Tensor sample,
+                                                      const SubmitOptions& opts,
+                                                      bool blocking, bool* queue_full) {
   if (stopping_.load(std::memory_order_acquire)) {
     return ready_future(RequestStatus::kShutdown);
   }
-  Request req = make_request(std::move(sample), deadline);
-  std::future<InferResult> fut = req.promise.get_future();
-  if (!queue_.push(std::move(req))) {
-    // Closed while we were waiting for space; req still owns the promise.
-    return ready_future(RequestStatus::kShutdown);
+  // Route ONCE, here: the request pins this session snapshot until its
+  // future resolves, so a concurrent hot-swap drains in-flight work on
+  // the old session instead of dropping or re-routing it.
+  const std::string& model = opts.model.empty() ? cfg_.default_model : opts.model;
+  std::shared_ptr<const InferenceSession> session = registry_->find(model);
+  if (!session) {
+    n_unknown_model_.fetch_add(1, std::memory_order_relaxed);
+    return ready_future(RequestStatus::kUnknownModel);
   }
-  n_submitted_.fetch_add(1, std::memory_order_relaxed);
+  const Shape& want = session->input_shape();
+  if (sample.shape() != want) {
+    throw std::invalid_argument("InferenceServer: sample shape " +
+                                capr::to_string(sample.shape()) + " does not match model '" +
+                                model + "' input " + capr::to_string(want));
+  }
+  Request req;
+  req.sample = std::move(sample);
+  req.session = std::move(session);
+  req.enqueued = Clock::now();
+  req.deadline = effective_deadline(opts);
+  std::future<InferResult> fut = req.promise.get_future();
+  const Ticket ticket{opts.tenant, opts.priority};
+  const PushStatus pushed = blocking ? queue_.push(std::move(req), ticket)
+                                     : queue_.try_push(std::move(req), ticket);
+  switch (pushed) {
+    case PushStatus::kOk:
+      n_submitted_.fetch_add(1, std::memory_order_relaxed);
+      return fut;
+    case PushStatus::kClosed:
+      // Closed while we were waiting for space; req still owns the promise.
+      return ready_future(RequestStatus::kShutdown);
+    case PushStatus::kOverQuota:
+      // Quota sheds are immediate even on the blocking path — a banned
+      // or saturated tenant must never deadlock behind its own backlog.
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ready_future(RequestStatus::kRejected);
+    case PushStatus::kFull:
+      break;
+  }
+  // kFull only reaches here on the non-blocking path: signal "not
+  // accepted, retry or shed".
+  n_rejected_.fetch_add(1, std::memory_order_relaxed);
+  *queue_full = true;
+  return {};
+}
+
+std::future<InferResult> InferenceServer::submit(Tensor sample, const SubmitOptions& opts) {
+  return submit_impl(std::move(sample), opts, /*blocking=*/true, nullptr);
+}
+
+std::future<InferResult> InferenceServer::submit(Tensor sample) {
+  return submit(std::move(sample), SubmitOptions{});
+}
+
+std::future<InferResult> InferenceServer::submit(Tensor sample, Clock::time_point deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return submit(std::move(sample), opts);
+}
+
+std::optional<std::future<InferResult>> InferenceServer::try_submit(
+    Tensor sample, const SubmitOptions& opts) {
+  bool queue_full = false;
+  std::future<InferResult> fut =
+      submit_impl(std::move(sample), opts, /*blocking=*/false, &queue_full);
+  if (queue_full) return std::nullopt;  // not accepted: retry or shed
   return fut;
 }
 
 std::optional<std::future<InferResult>> InferenceServer::try_submit(Tensor sample) {
-  validate_sample(sample);
-  if (stopping_.load(std::memory_order_acquire)) {
-    return ready_future(RequestStatus::kShutdown);
-  }
-  Clock::time_point deadline = Clock::time_point::max();
-  if (cfg_.default_timeout_us > 0) {
-    deadline = Clock::now() + std::chrono::microseconds(cfg_.default_timeout_us);
-  }
-  Request req = make_request(std::move(sample), deadline);
-  std::future<InferResult> fut = req.promise.get_future();
-  if (!queue_.try_push(std::move(req))) {
-    if (queue_.closed()) return ready_future(RequestStatus::kShutdown);
-    n_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  n_submitted_.fetch_add(1, std::memory_order_relaxed);
-  return fut;
+  return try_submit(std::move(sample), SubmitOptions{});
 }
 
 void InferenceServer::shutdown() {
@@ -147,6 +199,7 @@ ServerStats InferenceServer::stats() const {
   s.completed = n_completed_.load(std::memory_order_relaxed);
   s.timed_out = n_timed_out_.load(std::memory_order_relaxed);
   s.errored = n_errored_.load(std::memory_order_relaxed);
+  s.unknown_model = n_unknown_model_.load(std::memory_order_relaxed);
   s.batches = n_batches_.load(std::memory_order_relaxed);
   s.batched_samples = n_batched_samples_.load(std::memory_order_relaxed);
   return s;
@@ -158,13 +211,13 @@ void InferenceServer::worker_loop() {
   // thread pool (and results stay on the deterministic serial path).
   SerialRegionGuard serial;
   nn::InferScratch scratch;
-  // Pre-size every plan slot, arena buffer and GEMM scratch for the
-  // largest batch this worker will ever stack: afterwards the compiled
-  // steady state performs zero float-buffer allocation per batch
-  // (tensor/alloc_stats.h; pinned by tests/serve_alloc_test.cpp).
-  session_->warm(scratch, static_cast<int64_t>(cfg_.max_batch));
+  // Sessions this worker's scratch has been pre-sized for. Warming is
+  // an optimisation (run_ref sizes on demand), so a stale entry after a
+  // pointer reuse costs at most some first-batch allocations.
+  std::unordered_set<const InferenceSession*> warmed;
   Tensor stacked;  // persistent; reset (capacity-reusing) per batch
   std::vector<Request> batch;
+  std::vector<Request*> group;
   for (;;) {
     batch.clear();
     std::optional<Request> first = queue_.pop();
@@ -177,29 +230,48 @@ void InferenceServer::worker_loop() {
                            Clock::now() + std::chrono::microseconds(cfg_.max_delay_us));
       }
     }
-    process_batch(batch, scratch, stacked);
+    // A coalesced batch may span models (or hot-swap generations):
+    // partition by session, preserving arrival order within each group.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].session) continue;  // already claimed by a group
+      const InferenceSession* session = batch[i].session.get();
+      if (warmed.insert(session).second) {
+        if (warmed.size() > 64) warmed.clear();  // pointer-reuse hygiene
+        session->warm(scratch, static_cast<int64_t>(cfg_.max_batch));
+      }
+      group.clear();
+      group.push_back(&batch[i]);
+      for (size_t j = i + 1; j < batch.size(); ++j) {
+        if (batch[j].session.get() == session) group.push_back(&batch[j]);
+      }
+      process_group(group, scratch, stacked);
+      // Release each request's drain token as soon as its promise is
+      // set (and mark it claimed for the partition scan).
+      for (Request* r : group) r->session.reset();
+    }
   }
 }
 
-void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratch& scratch,
+void InferenceServer::process_group(std::vector<Request*>& group, nn::InferScratch& scratch,
                                     Tensor& stacked) {
   const Clock::time_point picked = Clock::now();
+  const InferenceSession& session = *group.front()->session;
   std::vector<Request*> live;
-  live.reserve(batch.size());
-  for (Request& r : batch) {
-    if (r.deadline < picked) {
+  live.reserve(group.size());
+  for (Request* r : group) {
+    if (r->deadline < picked) {
       // Count BEFORE resolving the future: a client that has observed its
       // result must also see it reflected in stats().
       n_timed_out_.fetch_add(1, std::memory_order_relaxed);
-      r.promise.set_value(
-          terminal_result(RequestStatus::kTimeout, us_between(r.enqueued, picked)));
+      r->promise.set_value(
+          terminal_result(RequestStatus::kTimeout, us_between(r->enqueued, picked)));
     } else {
-      live.push_back(&r);
+      live.push_back(r);
     }
   }
   if (live.empty()) return;
 
-  const Shape& in = session_->input_shape();
+  const Shape& in = session.input_shape();
   const int64_t n = static_cast<int64_t>(live.size());
   const int64_t per_sample = in[0] * in[1] * in[2];
   stacked.reset({n, in[0], in[1], in[2]});
@@ -210,7 +282,7 @@ void InferenceServer::process_batch(std::vector<Request>& batch, nn::InferScratc
 
   const Tensor* logits = nullptr;
   try {
-    logits = &session_->run_ref(stacked, scratch);
+    logits = &session.run_ref(stacked, scratch);
   } catch (const std::exception& e) {
     const Clock::time_point failed = Clock::now();
     n_errored_.fetch_add(static_cast<uint64_t>(live.size()), std::memory_order_relaxed);

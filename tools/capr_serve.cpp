@@ -1,16 +1,30 @@
-// capr-serve: load generator for the concurrent inference server.
+// capr-serve: load generator and hot-swap driver for the fleet server.
 //
 //   capr-serve --arch resnet20                       # random weights
 //   capr-serve --arch resnet20 --checkpoint m.ckpt   # trained/pruned model
 //   capr-serve --arch vgg11 --clients 8 --requests 512 --max-batch 8
+//   capr-serve --arch resnet20 --checkpoint dense.ckpt
+//              --model prod --publish pruned.ckpt     # live hot-swap
 //
 // Spawns N client threads that submit synthetic samples against one
 // shared InferenceServer, then prints throughput, latency percentiles
-// and the server's own counters. Use it to explore the batching and
-// backpressure knobs interactively; bench_serve is the reproducible
-// (google-benchmark) version of the same measurement.
-// Exit status: 0 on success, 1 if any request failed, 2 on usage errors.
+// and the server's own counters. With --publish, a newly pruned
+// checkpoint is certified and hot-swapped into the live server halfway
+// through the run — in-flight requests drain on the old session, none
+// are dropped. Use it to explore the batching, backpressure and swap
+// knobs interactively; bench_serve is the reproducible
+// (google-benchmark + open-loop) version of the same measurement.
+//
+// Exit status:
+//   0  success — every request completed kOk (and the publish, if any,
+//      went live)
+//   1  one or more requests failed (timeout/rejected/errored)
+//   2  usage errors (unknown flag, missing value, bad combination)
+//   3  publish rejected — the checkpoint failed certification (replay,
+//      analyzer, graph admission) or would change the serving contract;
+//      the old variant kept serving
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <iostream>
@@ -20,6 +34,7 @@
 #include <vector>
 
 #include "models/builders.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "tensor/gemm_tiled.h"
@@ -31,9 +46,11 @@ namespace {
 struct Options {
   std::string arch;
   std::string checkpoint;
+  std::string publish;  // checkpoint hot-swapped mid-run
   std::string kernel = "tiled";
   capr::models::BuildConfig build{};
   capr::serve::ServerConfig server{};
+  std::string model = "default";  // fleet id the clients route to
   int clients = 4;
   int requests = 256;  // total, split across clients
 };
@@ -44,6 +61,10 @@ void usage(std::ostream& os) {
   for (const std::string& a : capr::models::available_archs()) os << a << ' ';
   os << ")\n"
         "  --checkpoint <file>   serve a saved (possibly pruned) checkpoint\n"
+        "  --model <id>          fleet model id to serve and route to (default "
+        "\"default\")\n"
+        "  --publish <file>      certify + hot-swap this checkpoint into --model\n"
+        "                        halfway through the run (zero downtime)\n"
         "  --classes <n>         number of classes (default 10)\n"
         "  --input-size <n>      input H=W (default 16)\n"
         "  --width-mult <f>      channel width multiplier (default 0.25)\n"
@@ -54,7 +75,8 @@ void usage(std::ostream& os) {
         "  --queue-cap <n>       bounded queue capacity (default 64)\n"
         "  --max-batch <n>       micro-batch coalescing limit (default 8)\n"
         "  --max-delay-us <n>    straggler linger per batch (default 200)\n"
-        "  --timeout-us <n>      per-request deadline, 0 = none (default 0)\n";
+        "  --timeout-us <n>      per-request deadline, 0 = none (default 0)\n"
+        "exit codes: 0 ok, 1 request failures, 2 usage, 3 publish rejected\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -68,6 +90,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.arch = value();
     } else if (arg == "--checkpoint") {
       opts.checkpoint = value();
+    } else if (arg == "--model") {
+      opts.model = value();
+      if (opts.model.empty()) throw std::runtime_error("--model id must be non-empty");
+    } else if (arg == "--publish") {
+      opts.publish = value();
     } else if (arg == "--classes") {
       opts.build.num_classes = std::stoll(value());
     } else if (arg == "--input-size") {
@@ -134,12 +161,15 @@ int main(int argc, char** argv) {
           capr::models::make_model(opts.arch, opts.build));
     }
 
-    capr::serve::InferenceServer server(session, opts.server);
+    auto registry = std::make_shared<capr::serve::ModelRegistry>();
+    registry->publish(opts.model, session, /*warm_batch=*/0);
+    opts.server.default_model = opts.model;
+    capr::serve::InferenceServer server(registry, opts.server);
     const capr::Shape& in = session->input_shape();
     std::cout << "serving " << opts.arch << " " << capr::to_string(in) << " -> "
-              << session->num_classes() << " classes, " << server.config().workers
-              << " workers, max_batch " << server.config().max_batch << ", kernel "
-              << opts.kernel << "\n";
+              << session->num_classes() << " classes as \"" << opts.model << "\", "
+              << server.config().workers << " workers, max_batch "
+              << server.config().max_batch << ", kernel " << opts.kernel << "\n";
 
     // Each client owns a pool of synthetic samples and submits its share
     // of the total, blocking on queue space (so nothing is shed here —
@@ -172,7 +202,36 @@ int main(int argc, char** argv) {
         }
       });
     }
+    // With --publish, hot-swap the checkpoint into the live fleet once
+    // roughly half the requests have completed. Clients keep submitting
+    // throughout: in-flight requests drain on the old session, later
+    // ones route to the new one, nothing is dropped.
+    std::thread publisher;
+    std::string publish_error;
+    std::atomic<bool> clients_done{false};
+    if (!opts.publish.empty()) {
+      publisher = std::thread([&] {
+        // completed only counts kOk, so also bail once the clients are
+        // done — a run where everything times out must still terminate.
+        const uint64_t half = static_cast<uint64_t>(opts.requests) / 2;
+        while (!clients_done.load(std::memory_order_relaxed) &&
+               server.stats().completed < half) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        try {
+          server.registry()->publish_checkpoint(opts.model, opts.arch, opts.build,
+                                                opts.publish);
+          std::cout << "published " << opts.publish << " as \"" << opts.model << "\" v"
+                    << server.registry()->version(opts.model) << " (hot-swap)\n";
+        } catch (const std::exception& e) {
+          publish_error = e.what();
+        }
+      });
+    }
+
     for (std::thread& t : clients) t.join();
+    clients_done.store(true, std::memory_order_relaxed);
+    if (publisher.joinable()) publisher.join();
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     server.shutdown();
@@ -204,6 +263,11 @@ int main(int argc, char** argv) {
         std::cerr << "capr-serve: request failed: " << to_string(res.status)
                   << (res.error.empty() ? "" : ": " + res.error) << "\n";
       }
+    }
+    if (!publish_error.empty()) {
+      std::cerr << "capr-serve: publish rejected: " << publish_error
+                << " (old variant kept serving)\n";
+      return 3;
     }
     return failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {

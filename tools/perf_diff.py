@@ -6,7 +6,11 @@ Usage:
 
 Supported schemas (both files must carry the same one):
     capr-kernel-bench-v1   bench_gemm / bench_conv, metric: gflops
-    capr-serve-bench-v1    bench_serve, metric: qps
+    capr-serve-bench-v1    bench_serve (closed loop only), metric: qps
+    capr-serve-bench-v2    bench_serve incl. open-loop latency-under-load
+                           rows ("open/...") and per-variant saturation
+                           rows ("sat/...", qps = peak sustained
+                           throughput), metric: qps
 
 Matches results by benchmark name and reports the metric delta for each.
 A drop larger than --threshold percent (default 20) is flagged as a
@@ -25,6 +29,7 @@ import sys
 SCHEMAS = {
     "capr-kernel-bench-v1": ("gflops", "G"),
     "capr-serve-bench-v1": ("qps", "/s"),
+    "capr-serve-bench-v2": ("qps", "/s"),
 }
 
 
