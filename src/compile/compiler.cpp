@@ -243,7 +243,13 @@ int fuse_epilogues(PlanBuilder& b) {
 void prepack_weights(PlanBuilder& b) {
   for (Step& s : b.steps()) {
     if (s.kind == StepKind::kConv) {
-      s.packed_w = pack_a_full(s.weight.data(), s.out_channels, s.weight.dim(1));
+      // The strip layout depends on the tuning config (mc/kc/mr), so
+      // resolve the config for the GEMM this step will actually run —
+      // [out_channels, krows] x [krows, col_cols] — and bake it into the
+      // PackedA. The packed executor replays exactly that config.
+      const GemmTuneConfig cfg = resolve_gemm_config(
+          GemmVariant::kNN, s.out_channels, s.weight.dim(1), s.geom.col_cols());
+      s.packed_w = pack_a_full(s.weight.data(), s.out_channels, s.weight.dim(1), cfg);
       s.prepacked = true;
     } else if (s.kind == StepKind::kLinear) {
       s.packed_in = pack_b_nt(s.weight.data(), s.out_channels, s.weight.dim(1));

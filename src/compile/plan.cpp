@@ -312,6 +312,25 @@ Tensor ExecutionPlan::run(const Tensor& batch, nn::InferScratch& scratch) const 
 
 void ExecutionPlan::warm(nn::InferScratch& scratch, int64_t max_batch) const {
   if (max_batch < 1) max_batch = 1;
+  // Pre-size the per-worker GEMM scratch for the tuning config dispatch
+  // resolves on each step's shape (the installed table decides mc/kc/mr
+  // and the strategy, hence the buffer demand), then run one zero batch
+  // so the arena slot buffers also reach steady state. After warm() the
+  // hot loop allocates nothing, whatever table is installed.
+  const int workers =
+      std::max(1, std::min<int>(num_threads(), static_cast<int>(max_batch)));
+  scratch.arena.prepare(workers);
+  for (const Step& s : steps_) {
+    if (s.kind == StepKind::kConv) {
+      for (int t = 0; t < workers; ++t) {
+        reserve_gemm_scratch(scratch.arena.gemm(t), GemmVariant::kNN, s.out_channels,
+                             s.geom.col_rows(), s.geom.col_cols());
+      }
+    } else if (s.kind == StepKind::kLinear && s.weight.rank() == 2) {
+      reserve_gemm_scratch(scratch.arena.gemm(0), GemmVariant::kNT, max_batch,
+                           s.weight.dim(1), s.out_channels);
+    }
+  }
   Shape shape;
   shape.reserve(input_.size() + 1);
   shape.push_back(max_batch);

@@ -383,11 +383,30 @@ PlanLint lint_plan(const ExecutionPlan& plan, const graph::ModuleGraph& g) {
                             ", " + std::to_string(s.packed_w.depth) +
                             "] for a logical [" + std::to_string(s.out_channels) + ", " +
                             std::to_string(krows) + "] weight"));
-        } else if (s.packed_w.kblocks < 1 ||
-                   s.packed_w.strips.size() <
-                       static_cast<size_t>(s.packed_w.rows * s.packed_w.depth)) {
+        } else if (std::string why; !gemm_config_valid(s.packed_w.cfg, &why)) {
           lint.add(diag(PlanDiagCode::kPanelShape, idx, graph::kNoNode,
-                        "packed conv strip buffer is smaller than the weight it packs"));
+                        "packed conv strips record an illegal tuning config: " + why));
+        } else if (const GemmTuneConfig& cfg = s.packed_w.cfg;
+                   s.packed_w.kblocks != (krows + cfg.kc - 1) / cfg.kc ||
+                   s.packed_w.block_offset.size() !=
+                       static_cast<size_t>(((s.out_channels + cfg.mc - 1) / cfg.mc) *
+                                           s.packed_w.kblocks) ||
+                   s.packed_w.strips.size() !=
+                       static_cast<size_t>(gemm_apack_all_floats(
+                           s.packed_w.rows, s.packed_w.depth, cfg))) {
+          // Exact recompute from the recorded config: block count and
+          // strip floats must match the pack_a_full layout to the float.
+          lint.add(diag(PlanDiagCode::kPanelShape, idx, graph::kNoNode,
+                        "packed conv strip buffer holds " +
+                            std::to_string(s.packed_w.strips.size()) +
+                            " floats in " + std::to_string(s.packed_w.kblocks) +
+                            " k-blocks; the recorded config (mc=" +
+                            std::to_string(cfg.mc) + " kc=" + std::to_string(cfg.kc) +
+                            " mr=" + std::to_string(cfg.mr) + ") lays out " +
+                            std::to_string(gemm_apack_all_floats(
+                                s.packed_w.rows, s.packed_w.depth, cfg)) +
+                            " floats in " +
+                            std::to_string((krows + cfg.kc - 1) / cfg.kc) + " k-blocks"));
         }
       }
     } else if (s.kind == StepKind::kLinear) {

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "tensor/gemm_tune.h"
 #include "tensor/scratch.h"
 
 namespace capr {
@@ -110,17 +111,40 @@ inline int64_t packed_b_floats(int64_t K, int64_t N) {
 
 /// A fully pre-packed left operand: every (row-block, k-block) strip of
 /// the logical row-major [rows, depth] matrix, in the exact layout
-/// run_mblock packs per call. Immutable after pack_a_full.
+/// run_mblock packs per call. Immutable after pack_a_full. `cfg` records
+/// the tuning config the strips were laid out for (mc/kc/mr govern the
+/// layout; strategy is replayed at run time) so compiled plans carry
+/// their packing provenance and the packed kernels never have to guess.
 struct PackedA {
   int64_t rows = 0;   // logical M
   int64_t depth = 0;  // logical K
   int64_t kblocks = 0;
+  GemmTuneConfig cfg;                // config the strips were packed for
   std::vector<float> strips;         // all blocks, back to back
   std::vector<size_t> block_offset;  // index (mblock * kblocks + kblock)
 };
 
-/// Packs a row-major a[M, K] into every cache-block strip at once.
-PackedA pack_a_full(const float* a, int64_t M, int64_t K);
+/// Packs a row-major a[M, K] into every cache-block strip at once, laid
+/// out for `cfg` (invalid configs fall back to the defaults). Callers
+/// that know the eventual N should pass resolve_gemm_config(...) so the
+/// pack matches what dispatch would pick.
+PackedA pack_a_full(const float* a, int64_t M, int64_t K,
+                    const GemmTuneConfig& cfg = GemmTuneConfig{});
+
+/// Scratch demand (in floats) of one A cache block packed for `cfg` —
+/// the per-worker apack requirement of the serial and split-M drivers.
+int64_t gemm_apack_floats(int64_t M, int64_t K, const GemmTuneConfig& cfg);
+
+/// Scratch demand of the whole-A pack the split-N strategy builds before
+/// fanning panels out across workers.
+int64_t gemm_apack_all_floats(int64_t M, int64_t K, const GemmTuneConfig& cfg);
+
+/// Pre-sizes `s` for the config resolve_gemm_config picks on (v, M, K, N):
+/// packed-B panels plus the A-pack demand of the resolved strategy
+/// (whole-A for split-N, per-worker buffers for split-M). A scratch warmed
+/// this way performs no allocation when the call actually runs, whatever
+/// tuning table is installed — ExecutionPlan::warm relies on it.
+void reserve_gemm_scratch(GemmScratch& s, GemmVariant v, int64_t M, int64_t K, int64_t N);
 
 /// A pre-packed right operand in NT form (logical B = w^T for a
 /// row-major w[N, K]): NR-wide column panels, k-major. `finite` records

@@ -28,6 +28,11 @@ struct GemmScratch {
   std::vector<float> apack;
   std::vector<float> bpack;
   std::vector<float> tpose;
+  // Per-worker A-pack buffers for the parallel strategies (one per
+  // worker slot, grown on first use and reused across calls so a warmed
+  // steady state performs no allocation even when the resolved tuning
+  // config threads the GEMM).
+  std::vector<std::vector<float>> wapack;
 };
 
 /// Aggregate view over every live ScratchArena in the process, taken

@@ -1,0 +1,157 @@
+#include "tune/corpus.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/surgeon.h"
+#include "graph/graph.h"
+#include "models/builders.h"
+#include "nn/model.h"
+
+namespace capr::tune {
+namespace {
+
+using ShapeKey = std::tuple<int, int64_t, int64_t, int64_t>;
+
+ShapeKey key_of(const CorpusShape& s) {
+  return {static_cast<int>(s.variant), s.m, s.k, s.n};
+}
+
+/// Appends `s` unless an identical (variant, m, k, n) is already there.
+void add_shape(std::vector<CorpusShape>& out, std::set<ShapeKey>& seen, CorpusShape s) {
+  if (s.m <= 0 || s.k <= 0 || s.n <= 0) return;
+  if (!seen.insert(key_of(s)).second) return;
+  out.push_back(std::move(s));
+}
+
+/// The committed bench_gemm base sweep (bench/bench_gemm.cpp): a cubic
+/// ladder plus the deep and short-wide im2col shapes BENCH_kernels.json
+/// tracks. Kept in one place so bench and tuner cannot drift apart.
+void add_bench_shapes(std::vector<CorpusShape>& out, std::set<ShapeKey>& seen) {
+  const int64_t shapes[][3] = {
+      {64, 64, 64},   {128, 128, 128}, {256, 256, 256},
+      {384, 384, 384}, {96, 576, 256},  {16, 144, 1024},
+  };
+  for (const auto& s : shapes) {
+    add_shape(out, seen, {GemmVariant::kNN, s[0], s[1], s[2], "bench"});
+  }
+}
+
+/// Conv and linear GEMM shapes of one built model, walked via the
+/// ModuleGraph (the same IR the compiler lowers, so the harvested
+/// shapes are exactly the shapes ExecutionPlans dispatch).
+void harvest_model(const nn::Model& model, const std::string& origin,
+                   std::vector<CorpusShape>& out, std::set<ShapeKey>& seen) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok()) return;
+  for (const graph::Node& node : g.nodes()) {
+    if (node.kind == graph::Kind::kConv2d) {
+      // Forward im2col product: weight[Cout, Cin*kh*kw] * col[. , oh*ow].
+      const int64_t m = node.conv.out_channels;
+      const int64_t k = node.conv.in_channels * node.conv.kernel * node.conv.kernel;
+      const int64_t n = node.out_shape.size() >= 3 ? node.out_shape[1] * node.out_shape[2] : 0;
+      add_shape(out, seen,
+                {GemmVariant::kNN, m, k, n, origin + "/conv@" + node.path});
+    } else if (node.kind == graph::Kind::kLinear) {
+      // Serving NT product: x[batch, in] * w[out, in]^T at the batch
+      // sizes the server actually forms (single request + a full
+      // micro-batch).
+      for (const int64_t batch : {int64_t{1}, int64_t{8}}) {
+        add_shape(out, seen,
+                  {GemmVariant::kNT, batch, node.linear.in_features, node.linear.out_features,
+                   origin + "/linear@" + node.path});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& corpus_archs() {
+  static const std::vector<std::string> archs = {
+      "vgg11",    "vgg13",    "vgg16",    "vgg19", "resnet20",
+      "resnet32", "resnet44", "resnet56", "tiny"};
+  return archs;
+}
+
+void prune_some_filters(nn::Model& model, uint64_t seed) {
+  for (size_t u = 0; u < model.units.size(); ++u) {
+    const int64_t n = model.units[u].conv->out_channels();
+    if (n < 4) continue;
+    std::vector<int64_t> filters;
+    for (int64_t c = 0; c < n; ++c) {
+      if ((static_cast<uint64_t>(c) * 2654435761u + seed * 40503u + u) % 4 == 0) {
+        filters.push_back(c);
+      }
+    }
+    if (filters.empty()) filters.push_back(static_cast<int64_t>(seed % n));
+    if (static_cast<int64_t>(filters.size()) >= n) filters.pop_back();
+    core::remove_filters(model, u, filters);
+  }
+}
+
+std::vector<CorpusShape> build_corpus() {
+  std::vector<CorpusShape> out;
+  std::set<ShapeKey> seen;
+  add_bench_shapes(out, seen);
+  for (const std::string& arch : corpus_archs()) {
+    {
+      const nn::Model dense = models::make_model(arch, models::BuildConfig{});
+      harvest_model(dense, arch, out, seen);
+    }
+    {
+      nn::Model pruned = models::make_model(arch, models::BuildConfig{});
+      prune_some_filters(pruned, 1);
+      harvest_model(pruned, arch + "-pruned", out, seen);
+    }
+  }
+  return out;
+}
+
+std::vector<CorpusShape> pruned_im2col_shapes(size_t max_shapes) {
+  // Dense harvest first, so its keys mask shapes pruning did not change.
+  std::vector<CorpusShape> dense;
+  std::set<ShapeKey> dense_seen;
+  for (const std::string& arch : corpus_archs()) {
+    const nn::Model model = models::make_model(arch, models::BuildConfig{});
+    harvest_model(model, arch, dense, dense_seen);
+  }
+  std::vector<CorpusShape> fresh;
+  std::set<ShapeKey> seen = dense_seen;
+  for (const std::string& arch : corpus_archs()) {
+    nn::Model model = models::make_model(arch, models::BuildConfig{});
+    prune_some_filters(model, 1);
+    harvest_model(model, arch + "-pruned", fresh, seen);
+  }
+  std::vector<CorpusShape> convs;
+  for (CorpusShape& s : fresh) {
+    if (s.variant == GemmVariant::kNN) convs.push_back(std::move(s));
+  }
+  // Smallest M first (the worst strip-padding waste under fixed MR=6),
+  // then by FLOPs so ties resolve deterministically.
+  std::sort(convs.begin(), convs.end(), [](const CorpusShape& a, const CorpusShape& b) {
+    if (a.m != b.m) return a.m < b.m;
+    if (a.flops() != b.flops()) return a.flops() < b.flops();
+    return key_of(a) < key_of(b);
+  });
+  // One shape per shape class keeps the selection spread; a second pass
+  // tops up with the remaining smallest-M shapes if classes run out.
+  std::vector<CorpusShape> picked;
+  std::set<int> classes;
+  for (const CorpusShape& s : convs) {
+    if (picked.size() >= max_shapes) break;
+    if (classes.insert(classify_gemm(s.variant, s.m, s.k, s.n).index()).second) {
+      picked.push_back(s);
+    }
+  }
+  for (const CorpusShape& s : convs) {
+    if (picked.size() >= max_shapes) break;
+    bool have = false;
+    for (const CorpusShape& p : picked) have = have || key_of(p) == key_of(s);
+    if (!have) picked.push_back(s);
+  }
+  return picked;
+}
+
+}  // namespace capr::tune

@@ -1,0 +1,67 @@
+// Shape corpus for the GEMM autotuner.
+//
+// A tuning table is only as good as the shapes it was measured on. The
+// corpus combines three sources so the searched classes are the classes
+// production actually hits:
+//
+//   * the bench_gemm base shapes (the committed BENCH_kernels.json
+//     sweep: cubic ladder + the two historically problematic skinny
+//     im2col shapes);
+//   * conv im2col GEMM shapes harvested from all nine graph-built
+//     architectures via the ModuleGraph (M = out_channels,
+//     K = Cin*kh*kw, N = out_h*out_w);
+//   * the same harvest after a deterministic pseudo-random prune of
+//     roughly a quarter of every prunable unit's filters (mirroring the
+//     compile-test sweep), because pruning produces exactly the
+//     irregular skinny shapes a fixed config mishandles;
+//
+// plus the linear-layer NT shapes at serving batch sizes. Output order
+// is deterministic and deduplicated, so two runs of capr-tune search
+// identical shape lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm_tune.h"
+
+namespace capr {
+namespace nn {
+class Model;
+}  // namespace nn
+
+namespace tune {
+
+/// One GEMM call site the tuner should care about.
+struct CorpusShape {
+  GemmVariant variant = GemmVariant::kNN;
+  int64_t m = 0, k = 0, n = 0;
+  std::string origin;  // "bench", "vgg11/conv@3", "resnet20-pruned/conv@1", ...
+
+  int64_t flops() const { return 2 * m * k * n; }
+};
+
+/// The nine graph-built architectures the harvest walks.
+const std::vector<std::string>& corpus_archs();
+
+/// Deterministic pseudo-random prune of roughly a quarter of every
+/// prunable unit's filters, keyed by `seed` — the same transform the
+/// compile differential sweep applies, reused so tuner, benches and
+/// tests all see one canonical "pruned variant" of a model.
+void prune_some_filters(nn::Model& model, uint64_t seed);
+
+/// Full corpus: bench base shapes + conv/linear GEMM shapes from every
+/// architecture, dense and pruned. Deterministic order, deduped by
+/// (variant, m, k, n); `origin` records the first site that produced
+/// the shape.
+std::vector<CorpusShape> build_corpus();
+
+/// Conv im2col shapes that exist only in the pruned harvest — the
+/// skinny classes the committed bench corpus historically missed. At
+/// most `max_shapes`, spread across distinct shape classes, smallest M
+/// first (the shapes the fixed MR=6 kernel wastes the most on).
+std::vector<CorpusShape> pruned_im2col_shapes(size_t max_shapes = 6);
+
+}  // namespace tune
+}  // namespace capr

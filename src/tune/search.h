@@ -1,0 +1,81 @@
+// Per-shape-class autotuning search over the tiled-GEMM config space.
+//
+// For every shape class the corpus populates, the search measures a
+// candidate grid — MC/KC cache blocking, the legal MR micro-kernel
+// variants, and the parallelization strategies executable under the
+// current thread budget — through the REAL dispatch path (a candidate
+// is pinned with GemmTuningScope + a single-entry table, then the
+// public gemm_tiled* entry points run), so what is measured is exactly
+// what dispatch will later replay.
+//
+// Eligibility rule: before a candidate may win, its output must be
+// bitwise identical (a) between 1 worker and N workers and (b) to the
+// default config's output. The kernel's C-preload accumulation makes
+// every legal config pass by construction; the check is kept as the
+// enforced contract so a future kernel change that breaks invariance
+// cannot silently ship inside a tuning table. A candidate only enters
+// the table when it beats the default config by a noise margin
+// (min_gain), so an installed table never regresses the untuned path
+// by more than measurement noise.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "tensor/gemm_tune.h"
+#include "tune/corpus.h"
+
+namespace capr::tune {
+
+struct TuneOptions {
+  bool smoke = false;      // tiny candidate grid + short timings (CI)
+  int repeats = 3;         // best-of timing repetitions
+  double min_seconds = 0.01;  // minimum measured wall time per repetition
+  double min_gain = 1.03;  // a candidate must beat default by this factor
+  std::ostream* log = nullptr;  // human progress stream (nullptr = quiet)
+};
+
+/// What the search decided for one shape class.
+struct ClassReport {
+  GemmShapeClass cls;
+  GemmTuneEntry entry;       // chosen config + measurements (rep_* filled)
+  bool tuned = false;        // false: default config won, no table entry
+  int shapes = 0;            // corpus members in this class
+  int candidates = 0;        // configs measured
+  int rejected_bitwise = 0;  // candidates failing the eligibility check
+};
+
+struct TuneResult {
+  GemmTuningTable table;  // host fingerprint + every tuned class
+  std::vector<ClassReport> reports;  // one per populated class, index order
+};
+
+/// Runs the search over every class `corpus` populates. Candidates are
+/// scored on a deterministic spread of class members (geomean speedup,
+/// with a no-regress floor on every sampled member — a class entry
+/// applies to the whole class, so it must not tax any member); the
+/// median-FLOPs member is recorded as the entry's rep shape. Timings are
+/// of course machine-dependent — that is the point of the table.
+TuneResult run_autotune(const std::vector<CorpusShape>& corpus, const TuneOptions& opts);
+
+/// One committed entry re-measured by --verify.
+struct VerifyRow {
+  GemmShapeClass cls;
+  GemmTuneConfig cfg;
+  bool eligible = true;      // 1-vs-N + vs-default bitwise check still holds
+  bool measured = false;     // false when the entry carries no rep shape
+  double recorded_gflops = 0.0;
+  double measured_gflops = 0.0;
+  /// measured / recorded (0 when not measured or nothing recorded).
+  double drift() const {
+    return measured && recorded_gflops > 0.0 ? measured_gflops / recorded_gflops : 0.0;
+  }
+};
+
+/// Re-measures every present entry of `table` on its recorded rep shape
+/// and re-runs the bitwise eligibility check. Pure measurement — the
+/// table is not modified; callers decide what drift is actionable.
+std::vector<VerifyRow> verify_table(const GemmTuningTable& table, const TuneOptions& opts);
+
+}  // namespace capr::tune

@@ -1,0 +1,429 @@
+// Tuning-subsystem tests: shape classifier stability, table parsing with
+// every E-TUNE-* failure path pinned to its code, deterministic
+// serialisation, scope/resolution semantics — and the load-bearing
+// kernel contract: the tiled GEMM's output is bitwise INVARIANT to the
+// tuning config (mc/kc/mr/strategy) and the worker count, for every
+// variant, including remainder shapes and accumulation, and end-to-end
+// through compiled forward passes of every architecture, dense and
+// pruned. That invariance is what lets a tuning table change speed
+// without ever changing bits.
+#include "tensor/gemm_tune.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/plan.h"
+#include "graph/graph.h"
+#include "models/builders.h"
+#include "tensor/gemm_tiled.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+#include "tune/corpus.h"
+
+namespace capr {
+namespace {
+
+// ---- shape classifier -------------------------------------------------------
+
+TEST(GemmShapeClassTest, GeometryPrecedenceIsStable) {
+  // short-wide wins over deep when both hold (precedence contract).
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 8, 1024, 64).geom, GemmShapeGeom::kShortWide);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 64, 1024, 8).geom, GemmShapeGeom::kTallSkinny);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 64, 256, 64).geom, GemmShapeGeom::kDeep);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 64, 64, 64).geom, GemmShapeGeom::kCubic);
+}
+
+TEST(GemmShapeClassTest, TiersCutOnFlops) {
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 64, 64, 64).tier, GemmShapeTier::kTiny);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 128, 128, 128).tier, GemmShapeTier::kSmall);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 384, 384, 384).tier, GemmShapeTier::kMedium);
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 4096, 4096, 4096).tier, GemmShapeTier::kLarge);
+  // Boundaries are exclusive: 2*256^3 == 2^25 exactly, the first medium.
+  EXPECT_EQ(classify_gemm(GemmVariant::kNN, 256, 256, 256).tier, GemmShapeTier::kMedium);
+}
+
+TEST(GemmShapeClassTest, IndexAndKeyRoundTrip) {
+  std::vector<bool> seen(static_cast<size_t>(kGemmShapeClassCount), false);
+  for (int v = 0; v < kGemmVariantCount; ++v) {
+    for (int g = 0; g < kGemmGeomCount; ++g) {
+      for (int t = 0; t < kGemmTierCount; ++t) {
+        GemmShapeClass cls{static_cast<GemmVariant>(v), static_cast<GemmShapeGeom>(g),
+                           static_cast<GemmShapeTier>(t)};
+        const int idx = cls.index();
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, kGemmShapeClassCount);
+        EXPECT_FALSE(seen[static_cast<size_t>(idx)]) << "index collision at " << idx;
+        seen[static_cast<size_t>(idx)] = true;
+        GemmShapeClass parsed;
+        ASSERT_TRUE(parse_gemm_shape_class(cls.key(), &parsed)) << cls.key();
+        EXPECT_TRUE(parsed == cls) << cls.key();
+      }
+    }
+  }
+}
+
+TEST(GemmShapeClassTest, ParseRejectsUnknownKeys) {
+  GemmShapeClass cls;
+  EXPECT_FALSE(parse_gemm_shape_class("nn/short-wide", &cls));
+  EXPECT_FALSE(parse_gemm_shape_class("xx/cubic/tiny", &cls));
+  EXPECT_FALSE(parse_gemm_shape_class("nn/blobby/tiny", &cls));
+  EXPECT_FALSE(parse_gemm_shape_class("nn/cubic/vast", &cls));
+  EXPECT_FALSE(parse_gemm_shape_class("", &cls));
+}
+
+// ---- config validation ------------------------------------------------------
+
+TEST(GemmTuneConfigTest, ValidatesRangesAndMicroKernel) {
+  EXPECT_TRUE(gemm_config_valid(GemmTuneConfig{}));
+  for (int64_t mr : legal_gemm_mr()) {
+    GemmTuneConfig cfg;
+    cfg.mr = mr;
+    EXPECT_TRUE(gemm_config_valid(cfg)) << "mr=" << mr;
+  }
+  GemmTuneConfig bad;
+  bad.mc = 0;
+  EXPECT_FALSE(gemm_config_valid(bad));
+  bad = GemmTuneConfig{};
+  bad.mc = kGemmTuneMaxMc + 1;
+  EXPECT_FALSE(gemm_config_valid(bad));
+  bad = GemmTuneConfig{};
+  bad.kc = kGemmTuneMinKc - 1;
+  EXPECT_FALSE(gemm_config_valid(bad));
+  bad = GemmTuneConfig{};
+  bad.mr = 5;
+  std::string why;
+  EXPECT_FALSE(gemm_config_valid(bad, &why));
+  EXPECT_NE(why.find("mr"), std::string::npos) << why;
+}
+
+TEST(GemmTuneConfigTest, DefaultKeepsHistoricalThreadingThreshold) {
+  // Below 2*M*K*N = 2^23 the historical dispatch ran serial, above split-M.
+  EXPECT_EQ(default_gemm_config(GemmVariant::kNN, 64, 64, 64).strategy,
+            GemmParallel::kNoParallel);
+  EXPECT_EQ(default_gemm_config(GemmVariant::kNN, 256, 256, 256).strategy,
+            GemmParallel::kSplitM);
+  const GemmTuneConfig def = default_gemm_config(GemmVariant::kNN, 256, 256, 256);
+  EXPECT_EQ(def.mc, 72);
+  EXPECT_EQ(def.kc, 256);
+  EXPECT_EQ(def.mr, 6);
+}
+
+// ---- table parsing: every E-TUNE-* path -------------------------------------
+
+std::string table_json(const std::string& host, const std::string& entry_fields) {
+  return std::string("{\"schema\": \"") + kGemmTuneSchema + "\", \"host\": \"" + host +
+         "\", \"entries\": [" + entry_fields + "]}";
+}
+
+std::string entry_json(const std::string& cls, int64_t mc, int64_t kc, int64_t mr,
+                       const std::string& strategy) {
+  return "{\"class\": \"" + cls + "\", \"mc\": " + std::to_string(mc) +
+         ", \"kc\": " + std::to_string(kc) + ", \"mr\": " + std::to_string(mr) +
+         ", \"strategy\": \"" + strategy + "\"}";
+}
+
+TEST(GemmTuningParseTest, AcceptsMinimalValidTable) {
+  GemmTuningTable t;
+  const TuneStatus s = parse_gemm_tuning(
+      table_json("h", entry_json("nn/cubic/tiny", 72, 256, 6, "split-m")), &t);
+  ASSERT_TRUE(s.ok()) << s.format();
+  EXPECT_EQ(t.host, "h");
+  EXPECT_EQ(t.present_count(), 1);
+  GemmShapeClass cls;
+  ASSERT_TRUE(parse_gemm_shape_class("nn/cubic/tiny", &cls));
+  const GemmTuneEntry* e = t.find(cls);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->cfg.mc, 72);
+  EXPECT_EQ(e->cfg.strategy, GemmParallel::kSplitM);
+}
+
+TEST(GemmTuningParseTest, MalformedJsonIsParseError) {
+  GemmTuningTable t;
+  EXPECT_EQ(parse_gemm_tuning("{\"schema\": ", &t).code, TuneCode::kParse);
+  EXPECT_EQ(parse_gemm_tuning("", &t).code, TuneCode::kParse);
+  // A non-object root never reaches schema validation.
+  EXPECT_EQ(parse_gemm_tuning("[1, 2]", &t).code, TuneCode::kParse);
+}
+
+TEST(GemmTuningParseTest, WrongSchemaIsSchemaError) {
+  GemmTuningTable t;
+  const TuneStatus s = parse_gemm_tuning(
+      "{\"schema\": \"capr-gemm-tune-v0\", \"host\": \"h\", \"entries\": []}", &t);
+  EXPECT_EQ(s.code, TuneCode::kSchema);
+  EXPECT_NE(s.format().find("E-TUNE-SCHEMA"), std::string::npos) << s.format();
+}
+
+TEST(GemmTuningParseTest, UnknownClassKeyIsClassError) {
+  GemmTuningTable t;
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/wobbly/tiny", 72, 256, 6, "split-m")), &t)
+                .code,
+            TuneCode::kClass);
+}
+
+TEST(GemmTuningParseTest, DuplicateClassIsClassError) {
+  GemmTuningTable t;
+  const std::string two = entry_json("nn/cubic/tiny", 72, 256, 6, "split-m") + ", " +
+                          entry_json("nn/cubic/tiny", 36, 128, 4, "no-parallel");
+  EXPECT_EQ(parse_gemm_tuning(table_json("h", two), &t).code, TuneCode::kClass);
+}
+
+TEST(GemmTuningParseTest, OutOfRangeMcKcIsRangeError) {
+  GemmTuningTable t;
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/cubic/tiny", 0, 256, 6, "split-m")), &t)
+                .code,
+            TuneCode::kRange);
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/cubic/tiny", 9000, 256, 6, "split-m")), &t)
+                .code,
+            TuneCode::kRange);
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/cubic/tiny", 72, 4, 6, "split-m")), &t)
+                .code,
+            TuneCode::kRange);
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/cubic/tiny", 72, 9000, 6, "split-m")), &t)
+                .code,
+            TuneCode::kRange);
+}
+
+TEST(GemmTuningParseTest, IllegalMicroKernelIsMicroError) {
+  GemmTuningTable t;
+  const TuneStatus s = parse_gemm_tuning(
+      table_json("h", entry_json("nn/cubic/tiny", 72, 256, 5, "split-m")), &t);
+  EXPECT_EQ(s.code, TuneCode::kMicro);
+  EXPECT_NE(s.format().find("E-TUNE-MICRO"), std::string::npos) << s.format();
+}
+
+TEST(GemmTuningParseTest, UnknownStrategyIsStrategyError) {
+  GemmTuningTable t;
+  EXPECT_EQ(parse_gemm_tuning(
+                table_json("h", entry_json("nn/cubic/tiny", 72, 256, 6, "split-q")), &t)
+                .code,
+            TuneCode::kStrategy);
+}
+
+TEST(GemmTuningLoadTest, MissingFileIsIoError) {
+  GemmTuningTable t;
+  const TuneStatus s = load_gemm_tuning("/nonexistent/capr-tune-table.json", &t);
+  EXPECT_EQ(s.code, TuneCode::kIo);
+  EXPECT_NE(s.format().find("E-TUNE-IO"), std::string::npos) << s.format();
+}
+
+TEST(GemmTuningLoadTest, HostMismatchIsHostErrorButStillParses) {
+  const std::string path = testing::TempDir() + "/capr_tune_host_mismatch.json";
+  {
+    std::ofstream out(path);
+    out << table_json("some-other-machine x64",
+                      entry_json("nn/cubic/tiny", 36, 128, 4, "no-parallel"));
+  }
+  GemmTuningTable t;
+  const TuneStatus s = load_gemm_tuning(path, &t, /*check_host=*/true);
+  EXPECT_EQ(s.code, TuneCode::kHost);
+  // The table is still fully parsed so callers can inspect or force it.
+  EXPECT_EQ(t.present_count(), 1);
+  EXPECT_EQ(t.host, "some-other-machine x64");
+  // Without the host check the same file loads clean.
+  GemmTuningTable t2;
+  EXPECT_TRUE(load_gemm_tuning(path, &t2, /*check_host=*/false).ok());
+  std::remove(path.c_str());
+}
+
+// ---- serialisation ----------------------------------------------------------
+
+TEST(GemmTuningJsonTest, RoundTripIsByteStable) {
+  GemmTuningTable t;
+  t.host = host_fingerprint();
+  GemmTuneEntry e;
+  e.present = true;
+  e.cfg = {36, 128, 4, GemmParallel::kSplitN};
+  e.rep_m = 8;
+  e.rep_k = 72;
+  e.rep_n = 64;
+  e.gflops = 15.883;
+  e.baseline_gflops = 6.72;
+  t.set(classify_gemm(GemmVariant::kNN, 8, 72, 64), e);
+  e.cfg = {144, 512, 8, GemmParallel::kNoParallel};
+  t.set(classify_gemm(GemmVariant::kNT, 8, 128, 10), e);
+
+  const std::string json = to_json(t);
+  GemmTuningTable back;
+  ASSERT_TRUE(parse_gemm_tuning(json, &back).ok());
+  EXPECT_EQ(back.host, t.host);
+  EXPECT_EQ(back.present_count(), t.present_count());
+  // parse -> dump reproduces the exact bytes (committed tables diff clean).
+  EXPECT_EQ(to_json(back), json);
+}
+
+// ---- installation + resolution ----------------------------------------------
+
+TEST(GemmTuningResolveTest, ScopeInstallsAndRestores) {
+  const GemmTuneConfig tuned{36, 128, 4, GemmParallel::kNoParallel};
+  const GemmTuneConfig def = resolve_gemm_config(GemmVariant::kNN, 256, 256, 256);
+  {
+    GemmTuningScope scope(single_entry_table(GemmVariant::kNN, 256, 256, 256, tuned));
+    EXPECT_TRUE(resolve_gemm_config(GemmVariant::kNN, 256, 256, 256) == tuned);
+    // Other classes still fall back to the default.
+    EXPECT_TRUE(resolve_gemm_config(GemmVariant::kNT, 256, 256, 256) ==
+                default_gemm_config(GemmVariant::kNT, 256, 256, 256));
+  }
+  EXPECT_TRUE(resolve_gemm_config(GemmVariant::kNN, 256, 256, 256) == def);
+}
+
+// ---- bitwise invariance -----------------------------------------------------
+
+std::vector<float> fill(int64_t count, uint64_t seed) {
+  std::vector<float> v(static_cast<size_t>(count));
+  Rng rng(seed);
+  for (float& x : v) x = rng.uniform(-2.0f, 2.0f);
+  return v;
+}
+
+/// Runs one variant under `cfg` pinned by a one-entry table; returns C.
+std::vector<float> run_variant(GemmVariant v, int64_t M, int64_t K, int64_t N,
+                               const GemmTuneConfig& cfg, bool accumulate) {
+  const std::vector<float> a = fill(v == GemmVariant::kTN ? K * M : M * K, 7);
+  const std::vector<float> b = fill(v == GemmVariant::kNT ? N * K : K * N, 8);
+  std::vector<float> c = fill(M * N, 9);  // accumulate starts from this
+  if (!accumulate) std::fill(c.begin(), c.end(), 0.0f);
+  GemmScratch scratch;
+  GemmTuningScope scope(single_entry_table(v, M, K, N, cfg));
+  switch (v) {
+    case GemmVariant::kNN:
+      gemm_tiled(a.data(), b.data(), c.data(), M, K, N, accumulate, &scratch);
+      break;
+    case GemmVariant::kNT:
+      gemm_tiled_nt(a.data(), b.data(), c.data(), M, K, N, accumulate, &scratch);
+      break;
+    case GemmVariant::kTN:
+      gemm_tiled_tn(a.data(), b.data(), c.data(), M, K, N, accumulate, &scratch);
+      break;
+  }
+  return c;
+}
+
+TEST(GemmTuneBitwiseTest, OutputInvariantToConfigAcrossVariants) {
+  // Remainder-heavy shapes: partial strips, partial panels, K spanning
+  // multiple k-blocks under small kc.
+  const int64_t shapes[][3] = {{7, 19, 33}, {1, 300, 17}, {72, 72, 16}, {13, 520, 48}};
+  const GemmTuneConfig configs[] = {
+      {36, 64, 4, GemmParallel::kNoParallel},  {16, 8, 8, GemmParallel::kSplitM},
+      {72, 256, 8, GemmParallel::kSplitN},     {1, 8, 4, GemmParallel::kSplitM},
+      {144, 512, 6, GemmParallel::kSplitN},
+  };
+  set_num_threads(4);
+  for (GemmVariant v : {GemmVariant::kNN, GemmVariant::kNT, GemmVariant::kTN}) {
+    for (const auto& s : shapes) {
+      for (bool accumulate : {false, true}) {
+        const std::vector<float> ref = run_variant(
+            v, s[0], s[1], s[2], default_gemm_config(v, s[0], s[1], s[2]), accumulate);
+        for (const GemmTuneConfig& cfg : configs) {
+          const std::vector<float> got = run_variant(v, s[0], s[1], s[2], cfg, accumulate);
+          ASSERT_EQ(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)), 0)
+              << to_string(v) << " " << s[0] << "x" << s[1] << "x" << s[2]
+              << " acc=" << accumulate << " mc=" << cfg.mc << " kc=" << cfg.kc
+              << " mr=" << cfg.mr << " " << to_string(cfg.strategy);
+        }
+      }
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(GemmTuneBitwiseTest, OneVsManyWorkersUnderEveryStrategy) {
+  const int64_t M = 200, K = 300, N = 150;
+  for (GemmParallel strat :
+       {GemmParallel::kNoParallel, GemmParallel::kSplitM, GemmParallel::kSplitN}) {
+    const GemmTuneConfig cfg{48, 96, 8, strat};
+    set_num_threads(1);
+    const std::vector<float> serial = run_variant(GemmVariant::kNN, M, K, N, cfg, false);
+    for (int threads : {2, 4, 7}) {
+      set_num_threads(threads);
+      const std::vector<float> parallel =
+          run_variant(GemmVariant::kNN, M, K, N, cfg, false);
+      ASSERT_EQ(std::memcmp(serial.data(), parallel.data(), serial.size() * sizeof(float)),
+                0)
+          << to_string(strat) << " threads=" << threads;
+    }
+    set_num_threads(0);
+  }
+}
+
+// A table whose every class carries an aggressively non-default config.
+std::shared_ptr<const GemmTuningTable> everything_tuned() {
+  auto t = std::make_shared<GemmTuningTable>();
+  t->host = host_fingerprint();
+  for (int v = 0; v < kGemmVariantCount; ++v) {
+    for (int g = 0; g < kGemmGeomCount; ++g) {
+      for (int ti = 0; ti < kGemmTierCount; ++ti) {
+        GemmTuneEntry e;
+        e.present = true;
+        e.cfg = {40, 64, 4, GemmParallel::kSplitN};
+        t->set(GemmShapeClass{static_cast<GemmVariant>(v), static_cast<GemmShapeGeom>(g),
+                              static_cast<GemmShapeTier>(ti)},
+               e);
+      }
+    }
+  }
+  return t;
+}
+
+/// Compiled forward pass of `model`; compile happens inside the caller's
+/// tuning scope, so prepacked weights carry the scope's resolved configs.
+Tensor compiled_forward(const nn::Model& model, const Tensor& batch) {
+  const graph::ModuleGraph g = graph::ModuleGraph::build(model);
+  if (!g.ok()) ADD_FAILURE() << "graph build failed";
+  const compile::CompileResult result = compile::compile(g, compile::CompileOptions{});
+  if (!result.plan) {
+    ADD_FAILURE() << "compile failed";
+    return Tensor();
+  }
+  nn::InferScratch scratch;
+  result.plan->warm(scratch, batch.dim(0));
+  return result.plan->run(batch, scratch);
+}
+
+TEST(GemmTuneBitwiseTest, CompiledForwardInvariantAcrossAllArchsDenseAndPruned) {
+  models::BuildConfig cfg;
+  cfg.num_classes = 4;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.5f;
+  set_num_threads(4);
+  for (const std::string& arch : tune::corpus_archs()) {
+    for (bool pruned : {false, true}) {
+      nn::Model model = models::make_model(arch, cfg);
+      if (pruned) tune::prune_some_filters(model, 1);
+      Tensor batch({2, cfg.input_channels, cfg.input_size, cfg.input_size});
+      Rng rng(42);
+      rng.fill_normal(batch, 0.0f, 1.0f);
+
+      Tensor baseline, tuned;
+      {
+        GemmTuningScope scope(nullptr);  // untuned: defaults everywhere
+        baseline = compiled_forward(model, batch);
+      }
+      {
+        GemmTuningScope scope(everything_tuned());
+        tuned = compiled_forward(model, batch);
+      }
+      ASSERT_EQ(baseline.numel(), tuned.numel()) << arch;
+      ASSERT_EQ(std::memcmp(baseline.data(), tuned.data(),
+                            static_cast<size_t>(baseline.numel()) * sizeof(float)),
+                0)
+          << arch << (pruned ? " (pruned)" : " (dense)")
+          << ": tuned compiled forward is not bitwise identical to untuned";
+    }
+  }
+  set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace capr

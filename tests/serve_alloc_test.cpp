@@ -20,6 +20,7 @@
 #include "serve/server.h"
 #include "serve/session.h"
 #include "tensor/gemm_tiled.h"
+#include "tensor/gemm_tune.h"
 #include "tensor/rng.h"
 
 namespace capr::serve {
@@ -78,6 +79,44 @@ TEST(ServeAllocTest, CompiledRunRefIsAllocationFreeAfterWarm) {
                              << ": compiled steady state allocated " << (after - before)
                              << " float buffer(s)";
   }
+}
+
+// Same zero-alloc contract under a non-default tuning table: warm()
+// pre-sizes scratch from the RESOLVED per-class config (including the
+// larger whole-A packing split-N demands), not from the default one, so
+// an installed tuning table must not reintroduce steady-state growth.
+TEST(ServeAllocTest, CompiledRunRefIsAllocationFreeUnderTunedConfig) {
+  auto table = std::make_shared<GemmTuningTable>();
+  table->host = host_fingerprint();
+  GemmTuneEntry entry;
+  entry.present = true;
+  entry.cfg = {40, 64, 4, GemmParallel::kSplitN};  // non-default on purpose
+  for (auto& slot : table->entries) slot = entry;
+
+  GemmKernelScope kernel(GemmKernel::kTiled);
+  GemmTuningScope tuning(table);
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kCompiled;
+  const InferenceSession session(models::make_model("resnet20", small_cfg()), opts);
+  ASSERT_NE(session.plan(), nullptr);
+
+  constexpr int64_t kMaxBatch = 4;
+  nn::InferScratch scratch;
+  session.warm(scratch, kMaxBatch);
+
+  const Tensor full = random_batch(session.input_shape(), kMaxBatch, 13);
+  const Tensor single = random_batch(session.input_shape(), 1, 14);
+  session.run_ref(full, scratch);
+  session.run_ref(single, scratch);
+
+  const uint64_t before = float_alloc_count();
+  for (int i = 0; i < 16; ++i) {
+    session.run_ref(full, scratch);
+    session.run_ref(single, scratch);
+  }
+  EXPECT_EQ(float_alloc_count(), before)
+      << "steady state allocated under a tuned (split-N, mc=40/kc=64/mr=4) config — "
+      << "warm() is pre-sizing from the default config instead of the resolved one";
 }
 
 // Contrast: the interpreted path constructs fresh intermediate tensors

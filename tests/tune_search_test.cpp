@@ -1,0 +1,129 @@
+// Autotuner corpus + search-engine tests. The corpus must be
+// deterministic (two capr-tune runs search identical shape lists) and
+// must actually contain the pruned-model im2col shapes the tuner exists
+// for; the smoke search must produce a structurally valid, round-trippable
+// table with zero bitwise rejections (the kernel's config invariance is
+// a hard guarantee, not a statistical one).
+#include "tune/search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "tensor/gemm_tune.h"
+#include "tune/corpus.h"
+
+namespace capr::tune {
+namespace {
+
+using Key = std::tuple<int, int64_t, int64_t, int64_t>;
+Key key(const CorpusShape& s) { return {static_cast<int>(s.variant), s.m, s.k, s.n}; }
+
+TEST(TuneCorpusTest, IsDeterministicAndDeduplicated) {
+  const std::vector<CorpusShape> a = build_corpus();
+  const std::vector<CorpusShape> b = build_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  std::set<Key> seen;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(key(a[i]), key(b[i])) << "corpus order differs at " << i;
+    EXPECT_EQ(a[i].origin, b[i].origin);
+    EXPECT_TRUE(seen.insert(key(a[i])).second) << "duplicate shape at " << i;
+    EXPECT_GT(a[i].m, 0);
+    EXPECT_GT(a[i].k, 0);
+    EXPECT_GT(a[i].n, 0);
+  }
+}
+
+TEST(TuneCorpusTest, ContainsBenchAndHarvestedShapes) {
+  const std::vector<CorpusShape> corpus = build_corpus();
+  std::set<Key> keys;
+  for (const CorpusShape& s : corpus) keys.insert(key(s));
+  // The committed bench sweep rides along verbatim.
+  EXPECT_TRUE(keys.count({static_cast<int>(GemmVariant::kNN), 256, 256, 256}));
+  EXPECT_TRUE(keys.count({static_cast<int>(GemmVariant::kNN), 16, 144, 1024}));
+  // Conv im2col and linear NT shapes from the graph harvest.
+  bool any_conv = false, any_linear = false, any_pruned = false;
+  for (const CorpusShape& s : corpus) {
+    if (s.origin.find("/conv@") != std::string::npos) any_conv = true;
+    if (s.origin.find("/linear@") != std::string::npos) any_linear = true;
+    if (s.origin.find("-pruned/") != std::string::npos) any_pruned = true;
+  }
+  EXPECT_TRUE(any_conv);
+  EXPECT_TRUE(any_linear);
+  EXPECT_TRUE(any_pruned) << "pruning produced no new shapes — harvest is broken";
+}
+
+TEST(TuneCorpusTest, PrunedIm2colShapesAreSkinnyPrunedConvs) {
+  const std::vector<CorpusShape> shapes = pruned_im2col_shapes();
+  ASSERT_FALSE(shapes.empty());
+  EXPECT_LE(shapes.size(), 6u);
+  const std::vector<CorpusShape> again = pruned_im2col_shapes();
+  ASSERT_EQ(shapes.size(), again.size());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    EXPECT_EQ(key(shapes[i]), key(again[i]));
+    EXPECT_EQ(shapes[i].variant, GemmVariant::kNN);
+    EXPECT_NE(shapes[i].origin.find("-pruned/conv@"), std::string::npos)
+        << shapes[i].origin;
+  }
+  // Smallest-M-first ordering: the worst strip-padding shapes lead.
+  for (size_t i = 1; i < shapes.size(); ++i) EXPECT_GE(shapes[i].m, shapes[0].m);
+}
+
+TEST(TuneSearchTest, SmokeSearchProducesValidRoundTrippableTable) {
+  // A tiny synthetic corpus keeps this test fast; two classes.
+  std::vector<CorpusShape> corpus = {
+      {GemmVariant::kNN, 8, 72, 64, "test"},
+      {GemmVariant::kNN, 12, 96, 80, "test"},
+      {GemmVariant::kNT, 8, 128, 10, "test"},
+  };
+  TuneOptions opts;
+  opts.smoke = true;
+  std::ostringstream log;
+  opts.log = &log;
+  const TuneResult result = run_autotune(corpus, opts);
+  EXPECT_EQ(result.table.host, host_fingerprint());
+  ASSERT_EQ(result.reports.size(), 2u) << log.str();
+  for (const ClassReport& r : result.reports) {
+    EXPECT_GT(r.shapes, 0);
+    EXPECT_EQ(r.rejected_bitwise, 0)
+        << r.cls.key() << ": a config failed the bitwise eligibility check — the "
+        << "kernel's config invariance is broken";
+    EXPECT_TRUE(gemm_config_valid(r.entry.cfg));
+    EXPECT_GT(r.entry.baseline_gflops, 0.0);
+    if (r.tuned) {
+      const GemmTuneEntry* e = result.table.find(r.cls);
+      ASSERT_NE(e, nullptr);
+      EXPECT_TRUE(e->cfg == r.entry.cfg);
+    }
+  }
+  // Whatever the timings decided, the table round-trips byte-stable.
+  const std::string json = to_json(result.table);
+  GemmTuningTable back;
+  ASSERT_TRUE(parse_gemm_tuning(json, &back).ok());
+  EXPECT_EQ(to_json(back), json);
+}
+
+TEST(TuneSearchTest, VerifyReportsCommittedEntriesEligible) {
+  // Build a table from a quick smoke search, then verify it: every entry
+  // must still pass the bitwise re-check on its recorded rep shape.
+  std::vector<CorpusShape> corpus = {
+      {GemmVariant::kNN, 8, 72, 64, "test"},
+      {GemmVariant::kNN, 16, 144, 256, "test"},
+  };
+  TuneOptions opts;
+  opts.smoke = true;
+  const TuneResult result = run_autotune(corpus, opts);
+  const std::vector<VerifyRow> rows = verify_table(result.table, opts);
+  EXPECT_EQ(rows.size(), static_cast<size_t>(result.table.present_count()));
+  for (const VerifyRow& row : rows) {
+    EXPECT_TRUE(row.eligible) << row.cls.key();
+    EXPECT_TRUE(row.measured) << row.cls.key();
+    EXPECT_GT(row.measured_gflops, 0.0);
+    EXPECT_GT(row.drift(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace capr::tune

@@ -1,0 +1,203 @@
+// capr-tune: per-shape-class GEMM autotuner for the committed tuning
+// table the tiled-kernel dispatch consults ($CAPR_GEMM_TUNING /
+// tuning/default.json).
+//
+//   capr-tune                                # full search, write tuning/default.json
+//   capr-tune --smoke --out -                # tiny CI grid, table JSON on stdout
+//   capr-tune --verify --table tuning/default.json   # re-measure committed entries
+//   capr-tune --dump tuning/default.json     # parse + re-serialise (round-trip check)
+//
+// The search measures every candidate through the real dispatch path and
+// admits a config only after it passes the bitwise eligibility check
+// (1-vs-N workers AND identical to the default config's output), so a
+// table can change speed but never bits. --verify re-measures each
+// committed entry on its recorded representative shape: drift is
+// reported but non-fatal (timings move), a bitwise-ineligible entry is
+// fatal (the determinism contract broke). Tables from another host fail
+// the fingerprint check: --verify then runs the structural checks only.
+// Exit status: 0 clean, 1 on any E-TUNE-* diagnostic or broken contract,
+// 2 on usage/I-O problems.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm_tune.h"
+#include "tune/corpus.h"
+#include "tune/search.h"
+
+namespace {
+
+struct Options {
+  std::string out = "tuning/default.json";  // tune-mode output ('-' = stdout)
+  std::string table;                        // input for --verify / --dump
+  std::string dump;                         // re-serialise target ('-' = stdout)
+  bool verify = false;
+  bool smoke = false;
+  int repeats = 3;
+  double min_gain = 1.03;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: capr-tune [options]\n"
+        "  (default)           search all corpus shape classes, write the table\n"
+        "  --out <file>        tuned-table target (default tuning/default.json,\n"
+        "                      '-' for stdout machine mode)\n"
+        "  --smoke             tiny candidate grid + short timings (CI)\n"
+        "  --repeats <n>       best-of timing repetitions (default 3)\n"
+        "  --min-gain <f>      required speedup over the default config (default 1.03)\n"
+        "  --verify            re-measure a committed table instead of tuning\n"
+        "  --table <file>      table to --verify or --dump\n"
+        "  --dump <file>       parse --table (or the fresh result) and write its\n"
+        "                      canonical JSON ('-' for stdout machine mode)\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      opts.out = value();
+    } else if (arg == "--table") {
+      opts.table = value();
+    } else if (arg == "--dump") {
+      opts.dump = value();
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--repeats") {
+      opts.repeats = std::stoi(value());
+    } else if (arg == "--min-gain") {
+      opts.min_gain = std::stod(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return false;
+    } else {
+      throw std::runtime_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (opts.verify && opts.table.empty()) {
+    throw std::runtime_error("--verify requires --table <file>");
+  }
+  return true;
+}
+
+void write_output(const std::string& target, const std::string& content) {
+  if (target == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(target);
+  if (!out) throw std::runtime_error("cannot open '" + target + "' for writing");
+  out << content;
+  if (!out) throw std::runtime_error("failed writing '" + target + "'");
+}
+
+int run_verify(const Options& opts, std::ostream& log) {
+  capr::GemmTuningTable table;
+  const capr::TuneStatus status = capr::load_gemm_tuning(opts.table, &table,
+                                                         /*check_host=*/true);
+  const bool host_mismatch = status.code == capr::TuneCode::kHost;
+  if (!status.ok() && !host_mismatch) {
+    std::cerr << "capr-tune: " << opts.table << ": " << status.format() << "\n";
+    return 1;
+  }
+  log << "capr-tune: " << opts.table << ": " << table.present_count()
+      << " entries, host '" << table.host << "'\n";
+  if (host_mismatch) {
+    // Structural validation passed (or load_gemm_tuning would have
+    // returned the hard code); measurements from another machine are
+    // meaningless here, so stop after the parse/validation checks.
+    log << "capr-tune: " << status.format() << "\n"
+        << "capr-tune: structural checks only (re-measure skipped)\n";
+    return 0;
+  }
+  capr::tune::TuneOptions topts;
+  topts.smoke = opts.smoke;
+  topts.repeats = opts.repeats;
+  topts.log = &log;
+  const std::vector<capr::tune::VerifyRow> rows = capr::tune::verify_table(table, topts);
+  int broken = 0;
+  for (const capr::tune::VerifyRow& row : rows) {
+    if (!row.eligible) ++broken;
+    if (row.measured && row.drift() > 0.0 && (row.drift() < 0.5 || row.drift() > 2.0)) {
+      log << "capr-tune: WARNING: " << row.cls.key() << " drifted "
+          << row.drift() << "x from its recorded throughput; consider re-tuning\n";
+    }
+  }
+  if (broken > 0) {
+    std::cerr << "capr-tune: " << broken
+              << " entries failed the bitwise eligibility re-check\n";
+    return 1;
+  }
+  log << "capr-tune: verify OK (" << rows.size() << " entries re-checked)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    if (!parse_args(argc, argv, opts)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-tune: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  // Machine mode: when the table JSON goes to stdout, progress goes to
+  // stderr so the stream stays parseable (capr-analyze convention).
+  const bool machine = opts.out == "-" || opts.dump == "-";
+  std::ostream& log = machine ? std::cerr : std::cout;
+
+  try {
+    if (opts.verify) return run_verify(opts, log);
+
+    if (!opts.table.empty()) {
+      // Dump-only mode: parse, validate, re-serialise canonically.
+      capr::GemmTuningTable table;
+      const capr::TuneStatus status =
+          capr::load_gemm_tuning(opts.table, &table, /*check_host=*/false);
+      if (!status.ok()) {
+        std::cerr << "capr-tune: " << opts.table << ": " << status.format() << "\n";
+        return 1;
+      }
+      write_output(opts.dump.empty() ? std::string("-") : opts.dump, to_json(table));
+      return 0;
+    }
+
+    const std::vector<capr::tune::CorpusShape> corpus = capr::tune::build_corpus();
+    log << "capr-tune: corpus of " << corpus.size() << " shapes ("
+        << capr::tune::corpus_archs().size() << " archs, dense + pruned)\n";
+    capr::tune::TuneOptions topts;
+    topts.smoke = opts.smoke;
+    topts.repeats = opts.repeats;
+    topts.min_gain = opts.min_gain;
+    topts.log = &log;
+    const capr::tune::TuneResult result = capr::tune::run_autotune(corpus, topts);
+    const std::string json = to_json(result.table);
+    write_output(opts.out, json);
+    if (!opts.dump.empty() && opts.dump != opts.out) write_output(opts.dump, json);
+    log << "capr-tune: " << result.table.present_count() << " tuned entries ("
+        << result.reports.size() << " classes searched)";
+    if (opts.out != "-") log << " -> " << opts.out;
+    log << "\n";
+    int rejected = 0;
+    for (const capr::tune::ClassReport& r : result.reports) rejected += r.rejected_bitwise;
+    if (rejected > 0) {
+      std::cerr << "capr-tune: " << rejected
+                << " candidates failed the bitwise eligibility check\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "capr-tune: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -42,6 +42,34 @@ def load_doc(path):
     return schema, {r["name"]: r for r in doc.get("results", [])}
 
 
+def check_tuned_rows(label, rows, metric, unit, threshold):
+    """Intra-file check for kernel bench files: every tiled-tuned row is
+    compared against its untuned tiled sibling. The autotuner only commits
+    configs that beat the default, so tuned dropping below untuned by more
+    than the noise threshold means the committed table has gone stale for
+    this machine (or the search regressed). Returns the offending rows."""
+    regressions = []
+    tuned = [n for n in sorted(rows) if "/tiled-tuned/" in n]
+    if not tuned:
+        return regressions
+    width = max(len(n) for n in tuned)
+    print(f"\ntuned-vs-untuned ({label}):")
+    print(f"{'benchmark':<{width}}  {'tiled':>9}  {'tuned':>9}  {'delta':>8}")
+    for name in tuned:
+        sibling = name.replace("/tiled-tuned/", "/tiled/")
+        if sibling not in rows:
+            print(f"{name:<{width}}  (no untuned sibling)")
+            continue
+        b, c = rows[sibling][metric], rows[name][metric]
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        mark = ""
+        if delta < -threshold:
+            mark = "  << TUNED REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {b:>8.2f}{unit}  {c:>8.2f}{unit}  {delta:>+7.1f}%{mark}")
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -81,9 +109,18 @@ def main():
     for name in sorted(set(curr) - set(base)):
         print(f"{name:<{width}}  (current only)")
 
+    tuned_regressions = []
+    if base_schema == "capr-kernel-bench-v1":
+        tuned_regressions = check_tuned_rows("current", curr, metric, unit,
+                                             args.threshold)
+
     if regressions:
         print(f"\nperf_diff: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0f}% {metric} vs baseline")
+    if tuned_regressions:
+        print(f"perf_diff: {len(tuned_regressions)} tiled-tuned row(s) fell more "
+              f"than {args.threshold:.0f}% below their untuned sibling")
+    if regressions or tuned_regressions:
         if args.strict:
             return 1
         print("perf_diff: warning only (pass --strict to fail)")
