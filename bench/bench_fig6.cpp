@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
 
     // Baselines through the shared driver.
     baselines::BaselinePrunerConfig bcfg;
-    bcfg.fraction_per_iter = scale.max_fraction_per_iter;
+    bcfg.max_fraction_per_iter = scale.max_fraction_per_iter;
     bcfg.max_iterations = scale.name == "micro" ? std::min(scale.max_iterations, 6)
                                                 : scale.max_iterations;
     bcfg.max_layer_fraction_per_iter = scale.max_layer_fraction_per_iter;

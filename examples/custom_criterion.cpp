@@ -69,7 +69,7 @@ int main() {
   };
 
   baselines::BaselinePrunerConfig bcfg;
-  bcfg.fraction_per_iter = 0.25f;
+  bcfg.max_fraction_per_iter = 0.25f;
   bcfg.max_iterations = 3;
   bcfg.max_accuracy_drop = 0.10f;
   bcfg.finetune.epochs = 2;
@@ -95,7 +95,7 @@ int main() {
   pcfg.importance.images_per_class = 6;
   pcfg.importance.tau_mode = core::TauMode::kQuantile;
   pcfg.strategy.mode = core::StrategyMode::kPercentage;
-  pcfg.strategy.max_fraction_per_iter = bcfg.fraction_per_iter;
+  pcfg.strategy.max_fraction_per_iter = bcfg.max_fraction_per_iter;
   pcfg.finetune = bcfg.finetune;
   pcfg.max_accuracy_drop = bcfg.max_accuracy_drop;
   pcfg.max_iterations = bcfg.max_iterations;

@@ -1,104 +1,29 @@
 #include "baselines/baseline_pruner.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "core/surgeon.h"
+#include "baselines/strategy_adapter.h"
+#include "strategy/runner.h"
 
 namespace capr::baselines {
-namespace {
-
-struct Candidate {
-  size_t unit;
-  int64_t filter;
-  float score;
-};
-
-/// Lowest-scoring `fraction` of all filters, respecting the per-layer
-/// floor and the per-layer fraction cap.
-std::vector<core::UnitSelection> select_lowest(const UnitFilterScores& scores, float fraction,
-                                               float layer_fraction, int64_t min_per_layer) {
-  std::vector<Candidate> candidates;
-  int64_t total = 0;
-  for (size_t u = 0; u < scores.size(); ++u) {
-    const int64_t f = static_cast<int64_t>(scores[u].size());
-    total += f;
-    const auto layer_cap =
-        static_cast<int64_t>(static_cast<double>(f) * layer_fraction);
-    const int64_t removable = std::min(f - min_per_layer, layer_cap);
-    if (removable <= 0) continue;
-    std::vector<int64_t> order(static_cast<size_t>(f));
-    for (int64_t i = 0; i < f; ++i) order[static_cast<size_t>(i)] = i;
-    std::stable_sort(order.begin(), order.end(), [&scores, u](int64_t a, int64_t b) {
-      return scores[u][static_cast<size_t>(a)] < scores[u][static_cast<size_t>(b)];
-    });
-    for (int64_t k = 0; k < removable; ++k) {
-      const int64_t filter = order[static_cast<size_t>(k)];
-      candidates.push_back({u, filter, scores[u][static_cast<size_t>(filter)]});
-    }
-  }
-  const auto cap = static_cast<int64_t>(static_cast<double>(total) * fraction);
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
-  if (static_cast<int64_t>(candidates.size()) > cap) {
-    candidates.resize(static_cast<size_t>(std::max<int64_t>(cap, 0)));
-  }
-
-  std::vector<core::UnitSelection> out;
-  for (size_t u = 0; u < scores.size(); ++u) {
-    core::UnitSelection sel;
-    sel.unit_index = u;
-    for (const Candidate& c : candidates) {
-      if (c.unit == u) sel.filters.push_back(c.filter);
-    }
-    if (!sel.filters.empty()) {
-      std::sort(sel.filters.begin(), sel.filters.end());
-      out.push_back(std::move(sel));
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 BaselineRunResult BaselinePruner::run(nn::Model& model, Criterion& criterion,
                                       const data::Dataset& train_set,
                                       const data::Dataset& test_set) {
-  if (cfg_.fraction_per_iter <= 0.0f || cfg_.fraction_per_iter > 1.0f) {
-    throw std::invalid_argument("BaselinePruner: fraction_per_iter must be in (0, 1]");
-  }
+  CriterionStrategy strat(criterion);
+  strategy::StrategyRunConfig rcfg;
+  rcfg.limits = cfg_;
+  rcfg.max_iterations = cfg_.max_iterations;
+  rcfg.max_accuracy_drop = cfg_.max_accuracy_drop;
+  rcfg.finetune = cfg_.finetune;
+  const strategy::StrategyRunResult r =
+      strategy::run_strategy(model, strat, train_set, test_set, rcfg);
+
   BaselineRunResult result;
-  result.method = criterion.name();
-  const flops::ModelCost cost_before = flops::count(model);
-  result.original_accuracy = nn::evaluate(model, test_set);
-  result.stop_reason = "max iterations reached";
-
-  float accuracy = result.original_accuracy;
-  for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
-    const UnitFilterScores scores = criterion.score(model, train_set);
-    const auto selection = select_lowest(scores, cfg_.fraction_per_iter,
-                                         cfg_.max_layer_fraction_per_iter,
-                                         cfg_.min_filters_per_layer);
-    if (selection.empty()) {
-      result.stop_reason = "no prunable filters remain";
-      break;
-    }
-    core::apply_selection(model, selection);
-
-    nn::TrainConfig ft = cfg_.finetune;
-    ft.loader_seed = cfg_.finetune.loader_seed + static_cast<uint64_t>(iter) + 1;
-    nn::train(model, train_set, ft, criterion.train_regularizer());
-    accuracy = nn::evaluate(model, test_set);
-    result.iterations_run = iter + 1;
-
-    if (result.original_accuracy - accuracy > cfg_.max_accuracy_drop) {
-      result.stop_reason = "accuracy drop not recovered by fine-tuning";
-      break;
-    }
-  }
-
-  result.final_accuracy = accuracy;
-  result.report = flops::compare(cost_before, flops::count(model));
+  result.method = r.method;
+  result.original_accuracy = r.original_accuracy;
+  result.final_accuracy = r.final_accuracy;
+  result.report = r.report;
+  result.iterations_run = r.iterations_run;
+  result.stop_reason = r.stop_reason;
   return result;
 }
 

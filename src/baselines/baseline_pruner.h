@@ -1,30 +1,27 @@
 // Iterative prune/fine-tune driver for any baseline Criterion.
 //
-// Mirrors the ClassAwarePruner loop so Fig. 6's comparison runs every
-// method through identical machinery: score -> remove the lowest-scoring
-// fraction of filters -> fine-tune -> stop when the accuracy drop cannot
-// be recovered or the iteration budget is exhausted.
+// Thin facade over strategy::run_strategy: the criterion is adapted to
+// the graph-driven PruneStrategy interface (CriterionStrategy) and run
+// through the SAME loop, selection engine and certification path as the
+// class-aware method and every tournament entrant — Fig. 6's comparison
+// is apples-to-apples by construction.
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "baselines/criterion.h"
+#include "core/strategy.h"
 #include "flops/flops.h"
 #include "nn/trainer.h"
 
 namespace capr::baselines {
 
-struct BaselinePrunerConfig {
-  /// Fraction of remaining filters removed per iteration (network-wide).
-  float fraction_per_iter = 0.10f;
-  /// Per-layer cap per iteration, mirroring PruneStrategyConfig so the
-  /// Fig. 6 comparison gives every criterion the same protection against
-  /// gutting a single thin layer in one step.
-  float max_layer_fraction_per_iter = 0.5f;
+/// Protection knobs inherit from core::SelectionLimits — one struct for
+/// every method, so baselines cannot run under different caps/floors
+/// than the class-aware path.
+struct BaselinePrunerConfig : core::SelectionLimits {
   int max_iterations = 20;
   float max_accuracy_drop = 0.02f;
-  int64_t min_filters_per_layer = 2;
   nn::TrainConfig finetune{};
 };
 
@@ -39,7 +36,7 @@ struct BaselineRunResult {
 
 class BaselinePruner {
  public:
-  explicit BaselinePruner(BaselinePrunerConfig cfg) : cfg_(std::move(cfg)) {}
+  explicit BaselinePruner(BaselinePrunerConfig cfg) : cfg_(cfg) {}
 
   /// Prunes `model` in place using `criterion`. Fine-tuning uses the
   /// criterion's own regularizer when it provides one.

@@ -39,6 +39,8 @@ class Criterion {
 };
 
 /// Samples a scoring batch with a balanced number of images per class.
-data::Batch balanced_sample(const data::Dataset& set, int64_t per_class, uint64_t seed);
+/// Lives in data:: (the strategy library shares it); aliased here for
+/// the criteria and existing callers.
+using data::balanced_sample;
 
 }  // namespace capr::baselines

@@ -1,0 +1,16 @@
+#include "baselines/strategy_adapter.h"
+
+namespace capr::baselines {
+
+strategy::ScoreSet CriterionStrategy::score(const strategy::StrategyContext& ctx) {
+  const UnitFilterScores scores = criterion_->score(ctx.model, ctx.train_set);
+  strategy::ScoreSet out;
+  out.num_classes = ctx.train_set.num_classes();
+  for (const strategy::PrunableGroup& pg : strategy::prunable_groups(ctx)) {
+    strategy::GroupScores g{pg.unit_index, pg.group->name, scores.at(pg.unit_index)};
+    out.groups.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace capr::baselines

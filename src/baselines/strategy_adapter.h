@@ -1,0 +1,35 @@
+// Adapts a baseline Criterion to the graph-driven PruneStrategy
+// interface. Criteria score model.units positionally; the adapter keeps
+// only the scores of units the graph admits as prunable, which is how
+// baselines inherit the residual-constraint filter (a criterion can no
+// longer nominate a filter the analyzer would refuse).
+#pragma once
+
+#include <memory>
+
+#include "baselines/criterion.h"
+#include "strategy/strategy.h"
+
+namespace capr::baselines {
+
+class CriterionStrategy final : public strategy::PruneStrategy {
+ public:
+  /// Non-owning: `criterion` must outlive the strategy.
+  explicit CriterionStrategy(Criterion& criterion) : criterion_(&criterion) {}
+
+  /// Owning: the tournament roster uses this form.
+  explicit CriterionStrategy(std::unique_ptr<Criterion> criterion)
+      : owned_(std::move(criterion)), criterion_(owned_.get()) {}
+
+  std::string name() const override { return criterion_->name(); }
+  strategy::ScoreSet score(const strategy::StrategyContext& ctx) override;
+  nn::Regularizer* train_regularizer() override { return criterion_->train_regularizer(); }
+
+  Criterion& criterion() { return *criterion_; }
+
+ private:
+  std::unique_ptr<Criterion> owned_;
+  Criterion* criterion_ = nullptr;
+};
+
+}  // namespace capr::baselines

@@ -25,8 +25,8 @@ int64_t selection_size(const std::vector<UnitSelection>& sel) {
   return n;
 }
 
-std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
-                                          const PruneStrategyConfig& cfg) {
+std::vector<UnitSelection> select_scored(const std::vector<ScoredUnit>& units,
+                                         const PruneStrategyConfig& cfg, int64_t num_classes) {
   if (cfg.max_fraction_per_iter <= 0.0f || cfg.max_fraction_per_iter > 1.0f) {
     throw std::invalid_argument("PruneStrategy: max_fraction_per_iter must be in (0, 1]");
   }
@@ -34,14 +34,14 @@ std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
     throw std::invalid_argument(
         "PruneStrategy: max_layer_fraction_per_iter must be in (0, 1]");
   }
-  const float threshold = effective_threshold(cfg, scores.num_classes);
+  const float threshold = effective_threshold(cfg, num_classes);
 
   // Gather candidates, honouring the per-layer floor by never offering a
   // unit's top (min_filters_per_layer) filters for removal.
   std::vector<Candidate> candidates;
   int64_t total_filters = 0;
-  for (const UnitScores& u : scores.units) {
-    const int64_t f = static_cast<int64_t>(u.total.size());
+  for (const ScoredUnit& u : units) {
+    const int64_t f = static_cast<int64_t>(u.scores.size());
     total_filters += f;
     const auto layer_cap = static_cast<int64_t>(
         static_cast<double>(f) * cfg.max_layer_fraction_per_iter);
@@ -51,11 +51,11 @@ std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
     std::vector<int64_t> order(static_cast<size_t>(f));
     for (int64_t i = 0; i < f; ++i) order[static_cast<size_t>(i)] = i;
     std::stable_sort(order.begin(), order.end(), [&u](int64_t a, int64_t b) {
-      return u.total[static_cast<size_t>(a)] < u.total[static_cast<size_t>(b)];
+      return u.scores[static_cast<size_t>(a)] < u.scores[static_cast<size_t>(b)];
     });
     for (int64_t k = 0; k < removable; ++k) {
       const int64_t filter = order[static_cast<size_t>(k)];
-      candidates.push_back({u.unit_index, filter, u.total[static_cast<size_t>(filter)]});
+      candidates.push_back({u.unit_index, filter, u.scores[static_cast<size_t>(filter)]});
     }
   }
 
@@ -77,7 +77,7 @@ std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
 
   // Group by unit.
   std::vector<UnitSelection> out;
-  for (const UnitScores& u : scores.units) {
+  for (const ScoredUnit& u : units) {
     UnitSelection sel;
     sel.unit_index = u.unit_index;
     for (const Candidate& c : candidates) {
@@ -89,6 +89,16 @@ std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
     }
   }
   return out;
+}
+
+std::vector<UnitSelection> select_filters(const ImportanceResult& scores,
+                                          const PruneStrategyConfig& cfg) {
+  std::vector<ScoredUnit> units;
+  units.reserve(scores.units.size());
+  for (const UnitScores& u : scores.units) {
+    units.push_back({u.unit_index, u.total});
+  }
+  return select_scored(units, cfg, scores.num_classes);
 }
 
 }  // namespace capr::core

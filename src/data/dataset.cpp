@@ -133,4 +133,18 @@ void DataLoader::augment_batch(Batch& b) {
   }
 }
 
+Batch balanced_sample(const Dataset& set, int64_t per_class, uint64_t seed) {
+  if (per_class <= 0) throw std::invalid_argument("balanced_sample: per_class must be > 0");
+  Rng rng(seed);
+  std::vector<int64_t> indices;
+  for (int64_t cls = 0; cls < set.num_classes(); ++cls) {
+    std::vector<int64_t> pool = set.indices_of_class(cls);
+    rng.shuffle(pool);
+    const int64_t take = std::min<int64_t>(per_class, static_cast<int64_t>(pool.size()));
+    indices.insert(indices.end(), pool.begin(), pool.begin() + take);
+  }
+  if (indices.empty()) throw std::invalid_argument("balanced_sample: empty dataset");
+  return set.gather(indices);
+}
+
 }  // namespace capr::data

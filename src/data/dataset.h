@@ -52,6 +52,12 @@ class Dataset {
   int64_t num_classes_ = 0;
 };
 
+/// Samples a scoring batch with a balanced number of images per class
+/// (up to `per_class` of each, without replacement). Shared by the
+/// baseline criteria and the strategy library's data-driven scorers.
+/// Throws std::invalid_argument on per_class <= 0 or an empty dataset.
+Batch balanced_sample(const Dataset& set, int64_t per_class, uint64_t seed);
+
 /// Shuffling mini-batch iterator with optional train-time augmentation
 /// (horizontal flip and random shift with zero padding).
 class DataLoader {

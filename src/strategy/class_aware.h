@@ -1,0 +1,46 @@
+// The paper's class-aware method behind the PruneStrategy interface.
+//
+// Scoring delegates to core::ImportanceEvaluator (Eqs. 3-7) and is
+// bitwise-identical to the legacy select_filters path: the evaluator's
+// per-unit totals are forwarded untouched, and the shared engine is the
+// same code the legacy path calls (tests/strategy_iface_test.cpp proves
+// selection and surgery parity on all nine architectures).
+#pragma once
+
+#include <memory>
+
+#include "core/importance.h"
+#include "core/modified_loss.h"
+#include "strategy/strategy.h"
+
+namespace capr::strategy {
+
+struct ClassAwareStrategyConfig {
+  core::ImportanceConfig importance{};
+  core::ModifiedLossConfig loss{};
+  /// Paper default: threshold capped by the per-iteration percentage.
+  core::StrategyMode mode = core::StrategyMode::kBoth;
+  /// < 0 selects the paper's 0.3 * num_classes rule.
+  float score_threshold = -1.0f;
+  /// Fine-tune with the modified cost (Eq. 1), as the paper does.
+  bool finetune_with_modified_loss = true;
+};
+
+class ClassAwareStrategy final : public PruneStrategy {
+ public:
+  explicit ClassAwareStrategy(ClassAwareStrategyConfig cfg = {});
+
+  std::string name() const override { return "class-aware"; }
+  ScoreSet score(const StrategyContext& ctx) override;
+  core::StrategyMode mode() const override { return cfg_.mode; }
+  float score_threshold() const override { return cfg_.score_threshold; }
+  nn::Regularizer* train_regularizer() override;
+
+  const ClassAwareStrategyConfig& config() const { return cfg_; }
+
+ private:
+  ClassAwareStrategyConfig cfg_;
+  std::unique_ptr<core::ModifiedLoss> modified_loss_;
+};
+
+}  // namespace capr::strategy

@@ -1,0 +1,174 @@
+#include "strategy/competitors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace capr::strategy {
+namespace {
+
+/// Sum of w^2 over out-filter slice `filter` of a conv weight.
+double filter_sq(const nn::Conv2d& conv, int64_t filter) {
+  const int64_t fsz = conv.in_channels() * conv.kernel() * conv.kernel();
+  const float* w = conv.weight().value.data() + filter * fsz;
+  double acc = 0.0;
+  for (int64_t i = 0; i < fsz; ++i) acc += static_cast<double>(w[i]) * w[i];
+  return acc;
+}
+
+/// Sum of w^2 over in-channel slice `ch` of a consumer conv.
+double in_channel_sq(const nn::Conv2d& conv, int64_t ch) {
+  const int64_t kk = conv.kernel() * conv.kernel();
+  double acc = 0.0;
+  for (int64_t f = 0; f < conv.out_channels(); ++f) {
+    const float* w = conv.weight().value.data() + (f * conv.in_channels() + ch) * kk;
+    for (int64_t i = 0; i < kk; ++i) acc += static_cast<double>(w[i]) * w[i];
+  }
+  return acc;
+}
+
+/// Sum of w^2 over the in-feature block of a consumer linear for
+/// channel `ch` ([ch*spatial, (ch+1)*spatial) of every output row).
+double linear_block_sq(const nn::Linear& lin, int64_t ch, int64_t spatial) {
+  double acc = 0.0;
+  for (int64_t o = 0; o < lin.out_features(); ++o) {
+    const float* w = lin.weight().value.data() + o * lin.in_features() + ch * spatial;
+    for (int64_t i = 0; i < spatial; ++i) acc += static_cast<double>(w[i]) * w[i];
+  }
+  return acc;
+}
+
+/// RAII capture scope over the score points of the given groups.
+struct CaptureGroups {
+  std::vector<PrunableGroup>& groups;
+  explicit CaptureGroups(std::vector<PrunableGroup>& g) : groups(g) {
+    for (auto& pg : groups) pg.unit.score_point->instrument().capture = true;
+  }
+  ~CaptureGroups() {
+    for (auto& pg : groups) {
+      pg.unit.score_point->instrument().capture = false;
+      pg.unit.score_point->instrument().release_captures();
+    }
+  }
+  CaptureGroups(const CaptureGroups&) = delete;
+  CaptureGroups& operator=(const CaptureGroups&) = delete;
+};
+
+}  // namespace
+
+ScoreSet DependencyAwareStrategy::score(const StrategyContext& ctx) {
+  ScoreSet out;
+  out.num_classes = ctx.train_set.num_classes();
+  for (const PrunableGroup& pg : prunable_groups(ctx)) {
+    const nn::PrunableUnit& u = pg.unit;
+    GroupScores g{pg.unit_index, pg.group->name, {}};
+    g.total.resize(static_cast<size_t>(u.conv->out_channels()));
+    for (int64_t f = 0; f < u.conv->out_channels(); ++f) {
+      double coupled = filter_sq(*u.conv, f);
+      if (u.bn != nullptr) {
+        const float gamma = u.bn->gamma().value[f];
+        const float beta = u.bn->beta().value[f];
+        coupled += static_cast<double>(gamma) * gamma + static_cast<double>(beta) * beta;
+      }
+      for (const nn::ConsumerRef& c : u.consumers) {
+        if (c.conv != nullptr) {
+          coupled += in_channel_sq(*c.conv, f);
+        } else if (c.linear != nullptr) {
+          coupled += linear_block_sq(*c.linear, f, c.spatial);
+        }
+      }
+      g.total[static_cast<size_t>(f)] = static_cast<float>(std::sqrt(coupled));
+    }
+    out.groups.push_back(std::move(g));
+  }
+  return out;
+}
+
+ScoreSet ProvableStrategy::score(const StrategyContext& ctx) {
+  std::vector<PrunableGroup> groups = prunable_groups(ctx);
+  const data::Batch batch = data::balanced_sample(ctx.train_set, cfg_.images_per_class, cfg_.seed);
+  {
+    CaptureGroups guard(groups);
+    ctx.model.forward(batch.images, /*training=*/false);
+
+    ScoreSet out;
+    out.num_classes = ctx.train_set.num_classes();
+    for (const PrunableGroup& pg : groups) {
+      const Tensor& a = pg.unit.score_point->instrument().captured_output;
+      const int64_t n = a.dim(0), f = a.dim(1);
+      const int64_t plane = a.numel() / (n * f);
+      // Mean absolute activation per (image, filter).
+      std::vector<double> mass(static_cast<size_t>(n * f), 0.0);
+      for (int64_t img = 0; img < n; ++img) {
+        for (int64_t filter = 0; filter < f; ++filter) {
+          const float* p = a.data() + (img * f + filter) * plane;
+          double acc = 0.0;
+          for (int64_t k = 0; k < plane; ++k) acc += std::fabs(static_cast<double>(p[k]));
+          mass[static_cast<size_t>(img * f + filter)] = acc / static_cast<double>(plane);
+        }
+      }
+      // Empirical sensitivity: worst-case share of the layer's
+      // activation mass this filter carries over the sample.
+      GroupScores g{pg.unit_index, pg.group->name, {}};
+      g.total.resize(static_cast<size_t>(f), 0.0f);
+      for (int64_t img = 0; img < n; ++img) {
+        double denom = 0.0;
+        for (int64_t filter = 0; filter < f; ++filter) {
+          denom += mass[static_cast<size_t>(img * f + filter)];
+        }
+        if (denom <= 0.0) continue;
+        for (int64_t filter = 0; filter < f; ++filter) {
+          const auto share =
+              static_cast<float>(mass[static_cast<size_t>(img * f + filter)] / denom);
+          float& s = g.total[static_cast<size_t>(filter)];
+          s = std::max(s, share);
+        }
+      }
+      out.groups.push_back(std::move(g));
+    }
+    return out;
+  }
+}
+
+ScoreSet UnstructuredEquivalentStrategy::score(const StrategyContext& ctx) {
+  std::vector<PrunableGroup> groups = prunable_groups(ctx);
+
+  // Global magnitude threshold at the configured sparsity quantile over
+  // every prunable producer's weights.
+  std::vector<float> magnitudes;
+  for (const PrunableGroup& pg : groups) {
+    const Tensor& w = pg.unit.conv->weight().value;
+    for (int64_t i = 0; i < w.numel(); ++i) magnitudes.push_back(std::fabs(w[i]));
+  }
+  float threshold = 0.0f;
+  if (!magnitudes.empty()) {
+    const float clamped = std::clamp(cfg_.sparsity, 0.0f, 1.0f);
+    auto k = static_cast<size_t>(static_cast<double>(magnitudes.size() - 1) * clamped);
+    std::nth_element(magnitudes.begin(), magnitudes.begin() + static_cast<int64_t>(k),
+                     magnitudes.end());
+    threshold = magnitudes[k];
+  }
+
+  ScoreSet out;
+  out.num_classes = ctx.train_set.num_classes();
+  for (const PrunableGroup& pg : groups) {
+    const nn::Conv2d& conv = *pg.unit.conv;
+    const int64_t fsz = conv.in_channels() * conv.kernel() * conv.kernel();
+    GroupScores g{pg.unit_index, pg.group->name, {}};
+    g.total.resize(static_cast<size_t>(conv.out_channels()));
+    for (int64_t f = 0; f < conv.out_channels(); ++f) {
+      const float* w = conv.weight().value.data() + f * fsz;
+      double kept = 0.0, total = 0.0;
+      for (int64_t i = 0; i < fsz; ++i) {
+        const double m = std::fabs(static_cast<double>(w[i]));
+        total += m;
+        if (m > threshold) kept += m;
+      }
+      g.total[static_cast<size_t>(f)] = total > 0.0 ? static_cast<float>(kept / total) : 0.0f;
+    }
+    out.groups.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace capr::strategy

@@ -1,0 +1,56 @@
+// The shared iterative prune/fine-tune driver every strategy runs under.
+//
+//   score the graph's prunable groups -> select through the shared
+//   engine -> certify the plan with the static analyzer -> apply the
+//   surgery -> fine-tune (with the strategy's regularizer) -> stop when
+//   nothing is selectable, the accuracy drop is unrecovered, or the
+//   iteration budget is exhausted.
+//
+// This is the machinery baselines::BaselinePruner and the tournament
+// both drive, so "apples-to-apples" is structural: one loop, one
+// selection engine, one certification path.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/pruner.h"
+#include "core/strategy.h"
+#include "flops/flops.h"
+#include "nn/trainer.h"
+#include "strategy/strategy.h"
+
+namespace capr::strategy {
+
+struct StrategyRunConfig {
+  /// Caps and floors every selection runs under.
+  core::SelectionLimits limits{};
+  int max_iterations = 20;
+  float max_accuracy_drop = 0.02f;
+  nn::TrainConfig finetune{};
+  /// Certify every selection with analysis::require_ok before surgery.
+  /// Independent of checked mode — the tournament always certifies.
+  bool certify = true;
+  /// Optional observer invoked after each completed iteration.
+  std::function<void(const core::IterationRecord&)> on_iteration;
+};
+
+struct StrategyRunResult {
+  std::string method;
+  float original_accuracy = 0.0f;
+  float final_accuracy = 0.0f;
+  flops::PruningReport report;
+  int iterations_run = 0;
+  int64_t filters_removed = 0;
+  std::string stop_reason;
+};
+
+/// Prunes `model` in place with `strat`. `train_set` feeds scoring and
+/// fine-tuning; `test_set` drives the stop rule. Throws
+/// std::invalid_argument on out-of-range limits (before any training)
+/// and analysis::AnalysisError when certification rejects a plan.
+StrategyRunResult run_strategy(nn::Model& model, PruneStrategy& strat,
+                               const data::Dataset& train_set, const data::Dataset& test_set,
+                               const StrategyRunConfig& cfg);
+
+}  // namespace capr::strategy

@@ -1,0 +1,119 @@
+// Pruning-strategy tournament: every method through the identical
+// train -> prune -> certify -> compile -> serve pipeline, scored by what
+// production cares about — accuracy vs MEASURED saturation QPS/p99 —
+// instead of the paper Fig. 6's analytic FLOPs.
+//
+// Pipeline per entrant:
+//   1. one shared base model is trained once (plain CE) and its weights
+//      are cloned into every entrant, so methods differ only in how
+//      they prune;
+//   2. the entrant prunes through strategy::run_strategy (shared
+//      selection engine, per-plan analyzer certification);
+//   3. the final model is certified again (analysis::require_ok) and
+//      frozen into a compiled InferenceSession (graph admission check +
+//      BN-folded ExecutionPlan);
+//   4. the session is driven by the bench_serve open-loop generator
+//      over an offered-rate ladder; the saturation row (peak achieved
+//      QPS) and its p50/p99 are the entrant's serving score.
+//
+// Results are emitted as deterministic JSON (schema capr-tournament-v1,
+// perf_diff.py-compatible rows) and CSV, with the accuracy-vs-QPS
+// Pareto frontier marked.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "flops/flops.h"
+#include "models/builders.h"
+#include "report/json.h"
+#include "strategy/class_aware.h"
+#include "strategy/competitors.h"
+#include "strategy/runner.h"
+
+namespace capr::tournament {
+
+struct ServeMeasureConfig {
+  int workers = 4;
+  size_t max_batch = 8;
+  size_t queue_capacity = 256;
+  /// Offered-rate ladder (QPS); the saturation row is the peak achieved.
+  std::vector<double> ladder = {1500, 3000, 6000, 12000};
+  int window_ms = 400;
+  /// Distinct test images cycled through as requests.
+  int64_t sample_pool = 32;
+};
+
+struct TournamentConfig {
+  std::string arch = "resnet20";
+  /// Entrant names (see default_roster()); empty runs the full roster.
+  std::vector<std::string> strategies;
+  models::BuildConfig build{};
+  data::SyntheticCifarConfig dataset{};
+  /// Base training every entrant starts from (plain cross-entropy).
+  nn::TrainConfig base_train{};
+  /// The shared prune/fine-tune loop config (limits, budget, stop rule).
+  strategy::StrategyRunConfig prune{};
+  ServeMeasureConfig serve{};
+  /// Skip the serve stage (QPS/p99 report as 0). Used by unit tests;
+  /// the Pareto frontier then degenerates to best-accuracy.
+  bool measure_serving = true;
+  /// Per-strategy construction knobs.
+  strategy::ClassAwareStrategyConfig class_aware{};
+  strategy::ProvableStrategyConfig provable{};
+  strategy::UnstructuredEquivalentConfig unstructured{};
+  int64_t criterion_images_per_class = 4;
+};
+
+struct EntrantResult {
+  std::string strategy;
+  float original_accuracy = 0.0f;
+  float final_accuracy = 0.0f;
+  flops::PruningReport report;
+  int iterations_run = 0;
+  int64_t filters_removed = 0;
+  std::string stop_reason;
+  /// Final model passed analysis::require_ok + session admission.
+  bool certified = false;
+  double saturation_qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// On the accuracy-vs-QPS Pareto frontier.
+  bool pareto = false;
+};
+
+struct TournamentResult {
+  std::string arch;
+  std::vector<EntrantResult> entrants;
+};
+
+/// The seven stock entrants: "class-aware", "magnitude", "activation",
+/// "regularized", "unstructured-equiv", "dependency-aware", "provable".
+std::vector<std::string> default_roster();
+
+/// Builds one entrant by roster name. Throws std::invalid_argument on
+/// unknown names.
+std::unique_ptr<strategy::PruneStrategy> make_strategy(const std::string& name,
+                                                       const TournamentConfig& cfg);
+
+/// Runs the tournament. Progress lines go to `log` when non-null.
+/// Entrants appear in the order requested (roster order by default).
+TournamentResult run_tournament(const TournamentConfig& cfg, std::ostream* log = nullptr);
+
+/// Marks the accuracy-vs-saturation-QPS Pareto frontier in place: an
+/// entrant is dominated when another is >= on both axes and > on one.
+void mark_pareto(std::vector<EntrantResult>& entrants);
+
+/// Schema capr-tournament-v1; rows named "tournament/<arch>/<strategy>"
+/// with a "qps" metric so tools/perf_diff.py diffs frontiers like any
+/// other bench file.
+report::JsonValue to_json(const TournamentResult& result);
+
+/// One CSV row per entrant, stable column order.
+std::string to_csv(const TournamentResult& result);
+
+}  // namespace capr::tournament

@@ -172,7 +172,7 @@ TEST(BaselinePrunerTest, EndToEndWithL1) {
   nn::train(f.model, f.data.train, tcfg);
 
   BaselinePrunerConfig cfg;
-  cfg.fraction_per_iter = 0.2f;
+  cfg.max_fraction_per_iter = 0.2f;
   cfg.max_iterations = 3;
   cfg.max_accuracy_drop = 0.3f;
   cfg.finetune.epochs = 2;
@@ -190,7 +190,7 @@ TEST(BaselinePrunerTest, EndToEndWithL1) {
 TEST(BaselinePrunerTest, RejectsBadFraction) {
   Fixture f;
   BaselinePrunerConfig cfg;
-  cfg.fraction_per_iter = 0.0f;
+  cfg.max_fraction_per_iter = 0.0f;
   BaselinePruner pruner(cfg);
   L1Criterion crit;
   EXPECT_THROW(pruner.run(f.model, crit, f.data.train, f.data.test), std::invalid_argument);

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tournament/tournament.h"
+
+namespace capr::tournament {
+namespace {
+
+TEST(TournamentRosterTest, SevenEntrantsAndFactory) {
+  const std::vector<std::string> roster = default_roster();
+  EXPECT_EQ(roster.size(), 7u);
+  for (const char* required : {"class-aware", "magnitude", "activation", "regularized",
+                               "unstructured-equiv", "dependency-aware", "provable"}) {
+    EXPECT_NE(std::find(roster.begin(), roster.end(), required), roster.end()) << required;
+  }
+  TournamentConfig cfg;
+  for (const std::string& name : roster) {
+    const auto strat = make_strategy(name, cfg);
+    ASSERT_NE(strat, nullptr);
+    EXPECT_EQ(strat->name() == "class-aware" || name != "class-aware", true);
+  }
+  EXPECT_THROW(make_strategy("no-such-method", cfg), std::invalid_argument);
+}
+
+TEST(TournamentParetoTest, MarksFrontierAndDropsDominated) {
+  std::vector<EntrantResult> entrants(5);
+  entrants[0].strategy = "best-acc";
+  entrants[0].final_accuracy = 0.9f;
+  entrants[0].saturation_qps = 100;
+  entrants[0].certified = true;
+  entrants[1].strategy = "best-qps";
+  entrants[1].final_accuracy = 0.8f;
+  entrants[1].saturation_qps = 200;
+  entrants[1].certified = true;
+  entrants[2].strategy = "tradeoff";
+  entrants[2].final_accuracy = 0.85f;
+  entrants[2].saturation_qps = 150;
+  entrants[2].certified = true;
+  entrants[3].strategy = "dominated";
+  entrants[3].final_accuracy = 0.8f;
+  entrants[3].saturation_qps = 100;
+  entrants[3].certified = true;
+  entrants[4].strategy = "uncertified";
+  entrants[4].final_accuracy = 0.99f;
+  entrants[4].saturation_qps = 999;
+  entrants[4].certified = false;
+  mark_pareto(entrants);
+  EXPECT_TRUE(entrants[0].pareto);
+  EXPECT_TRUE(entrants[1].pareto);
+  EXPECT_TRUE(entrants[2].pareto);
+  EXPECT_FALSE(entrants[3].pareto);
+  EXPECT_FALSE(entrants[4].pareto);  // failed certification never wins
+}
+
+TournamentConfig mini_config() {
+  TournamentConfig cfg;
+  cfg.arch = "tiny";
+  cfg.strategies = {"magnitude", "dependency-aware"};
+  cfg.build.num_classes = 3;
+  cfg.build.input_size = 8;
+  cfg.build.width_mult = 0.5f;
+  cfg.dataset.num_classes = 3;
+  cfg.dataset.train_per_class = 8;
+  cfg.dataset.test_per_class = 4;
+  cfg.dataset.image_size = 8;
+  cfg.base_train.epochs = 2;
+  cfg.base_train.batch_size = 8;
+  cfg.prune.max_iterations = 1;
+  cfg.prune.max_accuracy_drop = 1.0f;
+  cfg.prune.limits.min_filters_per_layer = 1;
+  cfg.prune.limits.max_fraction_per_iter = 0.25f;
+  cfg.prune.finetune.epochs = 1;
+  cfg.prune.finetune.batch_size = 8;
+  cfg.measure_serving = false;  // deterministic output; serve is CLI-smoke-tested
+  return cfg;
+}
+
+TEST(TournamentRunTest, PipelineIsDeterministicWithoutServing) {
+  const TournamentConfig cfg = mini_config();
+  const TournamentResult a = run_tournament(cfg);
+  const TournamentResult b = run_tournament(cfg);
+
+  ASSERT_EQ(a.entrants.size(), 2u);
+  EXPECT_EQ(a.entrants[0].strategy, "magnitude");
+  EXPECT_EQ(a.entrants[1].strategy, "dependency-aware");
+  for (const EntrantResult& e : a.entrants) {
+    EXPECT_TRUE(e.certified) << e.strategy;
+    EXPECT_GT(e.filters_removed, 0) << e.strategy;
+    EXPECT_GT(e.report.pruning_ratio(), 0.0) << e.strategy;
+    EXPECT_EQ(e.iterations_run, 1) << e.strategy;
+  }
+  // At least one entrant is on the frontier; with qps==0 everywhere the
+  // frontier is exactly the best-accuracy set.
+  EXPECT_TRUE(std::any_of(a.entrants.begin(), a.entrants.end(),
+                          [](const EntrantResult& e) { return e.pareto; }));
+
+  // Same config in, byte-identical document out.
+  EXPECT_EQ(to_json(a).dump(), to_json(b).dump());
+  EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+TEST(TournamentReportTest, JsonSchemaAndCsvShape) {
+  TournamentResult result;
+  result.arch = "tiny";
+  EntrantResult e;
+  e.strategy = "magnitude";
+  e.final_accuracy = 0.75f;
+  e.saturation_qps = 1234.5;
+  e.certified = true;
+  e.pareto = true;
+  e.stop_reason = "max iterations reached";
+  result.entrants.push_back(e);
+
+  const std::string json = to_json(result).dump();
+  EXPECT_NE(json.find("\"schema\":\"capr-tournament-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tournament/tiny/magnitude\""), std::string::npos);
+  EXPECT_NE(json.find("\"qps\":1234.5"), std::string::npos);
+  EXPECT_NE(json.find("\"results\":["), std::string::npos);
+  EXPECT_NE(json.find("\"pareto\":true"), std::string::npos);
+
+  const std::string csv = to_csv(result);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + one row
+  EXPECT_NE(csv.find("strategy,accuracy"), std::string::npos);
+  EXPECT_NE(csv.find("magnitude,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capr::tournament

@@ -1,0 +1,185 @@
+// capr-tournament: run every pruning strategy through the identical
+// train -> prune -> certify -> compile -> serve pipeline and report the
+// accuracy-vs-measured-QPS/p99 Pareto frontier.
+//
+// Usage:
+//   capr-tournament [--arch NAME] [--strategies a,b,c] [--smoke]
+//                   [--no-serve] [--out FILE|-] [--csv FILE] [--list]
+//
+//   --arch NAME        architecture to prune (default resnet20)
+//   --strategies LIST  comma-separated roster subset (default: all 7)
+//   --smoke            tiny preset (tiny arch, small data, short
+//                      training, one serve rung) for CI and baselines
+//   --no-serve         skip the serving stage (QPS/p99 report as 0)
+//   --out FILE|-       write the JSON document (schema
+//                      capr-tournament-v1) to FILE, or stdout with "-"
+//   --csv FILE         also write the frontier as CSV
+//   --list             print roster names and exit
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tournament/tournament.h"
+
+namespace {
+
+using capr::tournament::TournamentConfig;
+
+struct Args {
+  TournamentConfig cfg;
+  std::string out;
+  std::string csv;
+  bool list = false;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: capr-tournament [--arch NAME] [--strategies a,b,c] [--smoke]\n"
+        "                       [--no-serve] [--out FILE|-] [--csv FILE] [--list]\n";
+  return code;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Shrinks every stage so the full roster finishes in CI smoke time:
+/// tiny two-conv arch, 3-class data, short training, one serve rung.
+void apply_smoke(TournamentConfig& cfg) {
+  cfg.arch = "tiny";
+  cfg.build.num_classes = 3;
+  cfg.build.input_size = 8;
+  cfg.build.width_mult = 0.5f;
+  cfg.dataset.num_classes = 3;
+  cfg.dataset.train_per_class = 16;
+  cfg.dataset.test_per_class = 8;
+  cfg.dataset.image_size = 8;
+  cfg.base_train.epochs = 6;
+  cfg.base_train.batch_size = 12;
+  cfg.base_train.sgd.lr = 0.05f;
+  cfg.prune.max_iterations = 2;
+  cfg.prune.max_accuracy_drop = 1.0f;  // smoke ranks methods, never stops early
+  cfg.prune.limits.max_fraction_per_iter = 0.25f;
+  cfg.prune.limits.min_filters_per_layer = 1;
+  cfg.prune.finetune.epochs = 2;
+  cfg.prune.finetune.batch_size = 12;
+  cfg.prune.finetune.sgd.lr = 0.02f;
+  cfg.serve.ladder = {1000, 8000};
+  cfg.serve.window_ms = 100;
+  cfg.serve.workers = 2;
+  cfg.serve.max_batch = 4;
+  cfg.class_aware.importance.images_per_class = 4;
+  cfg.class_aware.importance.tau_mode = capr::core::TauMode::kQuantile;
+  cfg.provable.images_per_class = 4;
+  cfg.criterion_images_per_class = 2;
+}
+
+/// Full default: a production-shaped run on resnet20. The class-aware
+/// scorer runs in quantile-tau mode, matching the reduced training
+/// scale (see core/importance.h).
+void apply_full_defaults(TournamentConfig& cfg) {
+  cfg.base_train.epochs = 12;
+  cfg.base_train.batch_size = 32;
+  cfg.base_train.sgd.lr = 0.05f;
+  cfg.prune.max_iterations = 4;
+  cfg.prune.max_accuracy_drop = 0.05f;
+  cfg.prune.finetune.epochs = 3;
+  cfg.prune.finetune.batch_size = 32;
+  cfg.prune.finetune.sgd.lr = 0.02f;
+  cfg.class_aware.importance.tau_mode = capr::core::TauMode::kQuantile;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  apply_full_defaults(args.cfg);
+  bool smoke = false;
+  std::string arch, strategies;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires an argument\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (a == "--arch") {
+      arch = next("--arch");
+    } else if (a == "--strategies") {
+      strategies = next("--strategies");
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--no-serve") {
+      args.cfg.measure_serving = false;
+    } else if (a == "--out") {
+      args.out = next("--out");
+    } else if (a == "--csv") {
+      args.csv = next("--csv");
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (args.list) {
+    for (const std::string& name : capr::tournament::default_roster()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (smoke) apply_smoke(args.cfg);
+  if (!arch.empty()) args.cfg.arch = arch;
+  if (!strategies.empty()) args.cfg.strategies = split_csv(strategies);
+
+  try {
+    const capr::tournament::TournamentResult result =
+        capr::tournament::run_tournament(args.cfg, &std::cerr);
+    const std::string json = capr::tournament::to_json(result).dump();
+    if (args.out == "-") {
+      std::cout << json << "\n";
+    } else if (!args.out.empty()) {
+      std::ofstream out(args.out);
+      if (!out) {
+        std::cerr << "cannot write " << args.out << "\n";
+        return 1;
+      }
+      out << json << "\n";
+    }
+    if (!args.csv.empty()) {
+      std::ofstream out(args.csv);
+      if (!out) {
+        std::cerr << "cannot write " << args.csv << "\n";
+        return 1;
+      }
+      out << capr::tournament::to_csv(result);
+    }
+    // Human-readable frontier on stderr so --out - stays machine-clean.
+    std::cerr << "\nPareto frontier (accuracy vs saturation QPS):\n";
+    for (const auto& e : result.entrants) {
+      if (!e.pareto) continue;
+      std::cerr << "  " << e.strategy << ": accuracy=" << e.final_accuracy
+                << " qps=" << e.saturation_qps << " p99_us=" << e.p99_us << "\n";
+    }
+    return 0;
+  } catch (const std::invalid_argument& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 2;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+}

@@ -11,6 +11,9 @@ Supported schemas (both files must carry the same one):
                            rows ("open/...") and per-variant saturation
                            rows ("sat/...", qps = peak sustained
                            throughput), metric: qps
+    capr-tournament-v1     capr-tournament pruning-strategy frontier
+                           rows ("tournament/<arch>/<strategy>", qps =
+                           measured saturation throughput), metric: qps
 
 Matches results by benchmark name and reports the metric delta for each.
 A drop larger than --threshold percent (default 20) is flagged as a
@@ -30,6 +33,7 @@ SCHEMAS = {
     "capr-kernel-bench-v1": ("gflops", "G"),
     "capr-serve-bench-v1": ("qps", "/s"),
     "capr-serve-bench-v2": ("qps", "/s"),
+    "capr-tournament-v1": ("qps", "/s"),
 }
 
 
